@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the per-table / per-figure bench binaries.
+ *
+ * Every binary prints the same rows/series the paper reports; the
+ * helpers here standardise the solve configurations the paper calls
+ * Full SAT, SAT w/o Alg. and SAT + Anl., with CLI-adjustable
+ * budgets so the full paper ranges can be reproduced when more time
+ * is available.
+ */
+
+#ifndef FERMIHEDRAL_BENCH_BENCH_UTIL_H
+#define FERMIHEDRAL_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+
+#include "core/annealing.h"
+#include "core/descent_solver.h"
+#include "encodings/linear.h"
+#include "fermion/models.h"
+
+namespace fermihedral::bench {
+
+/** Paper configuration names (Sec. 5.1). */
+enum class Config
+{
+    FullSat,  // all constraints in SAT
+    NoAlg,    // algebraic independence dropped (Sec. 4.1)
+};
+
+/** Descent options for one of the paper's configurations. */
+inline core::DescentOptions
+descentOptions(Config config, double step_timeout,
+               double total_timeout, bool vacuum = true)
+{
+    core::DescentOptions options;
+    options.algebraicIndependence = config == Config::FullSat;
+    options.vacuumPreservation = vacuum;
+    options.stepTimeoutSeconds = step_timeout;
+    options.totalTimeoutSeconds = total_timeout;
+    return options;
+}
+
+/**
+ * Full Hamiltonian-dependent pipeline: Hamiltonian-independent
+ * descent, Algorithm 2 annealing, then the Hamiltonian-dependent
+ * descent seeded with the annealed encoding. Returns the best
+ * encoding found, which is never worse than BK or SAT+Anl.
+ */
+struct HamiltonianSolve
+{
+    enc::FermionEncoding encoding;
+    std::size_t bkCost = 0;
+    std::size_t annealedCost = 0;
+    std::size_t fullCost = 0;
+    bool provedOptimal = false;
+};
+
+inline HamiltonianSolve
+solveForHamiltonian(const fermion::FermionHamiltonian &hamiltonian,
+                    Config config, double step_timeout,
+                    double total_timeout)
+{
+    HamiltonianSolve out;
+    out.bkCost = enc::hamiltonianPauliWeight(
+        hamiltonian, enc::bravyiKitaev(hamiltonian.modes()));
+
+    core::DescentSolver indep_solver(
+        hamiltonian.modes(),
+        descentOptions(config, step_timeout / 2.0,
+                       total_timeout / 2.0));
+    const auto indep = indep_solver.solve();
+    const auto annealed =
+        core::annealPairing(indep.encoding, hamiltonian);
+    out.annealedCost = annealed.finalCost;
+
+    auto full_options =
+        descentOptions(config, step_timeout, total_timeout);
+    full_options.seedEncoding = annealed.encoding;
+    core::DescentSolver full_solver(hamiltonian, full_options);
+    const auto full = full_solver.solve();
+    out.fullCost = full.cost;
+    out.provedOptimal = full.provedOptimal;
+    out.encoding = full.cost <= annealed.finalCost
+                       ? full.encoding
+                       : annealed.encoding;
+    return out;
+}
+
+/** Least-squares fit y = a * log2(x) + b over positive samples. */
+struct LogFit
+{
+    double a = 0.0;
+    double b = 0.0;
+};
+
+inline LogFit
+fitLog2(const std::vector<std::pair<double, double>> &points)
+{
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const auto &[x, y] : points) {
+        const double lx = std::log2(x);
+        sx += lx;
+        sy += y;
+        sxx += lx * lx;
+        sxy += lx * y;
+    }
+    const double n = static_cast<double>(points.size());
+    LogFit fit;
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+        fit.a = (n * sxy - sx * sy) / denom;
+        fit.b = (sy - fit.a * sx) / n;
+    }
+    return fit;
+}
+
+/** Print a standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("=== Fermihedral repro bench: %s (%s) ===\n", what,
+                paper_ref);
+}
+
+} // namespace fermihedral::bench
+
+#endif // FERMIHEDRAL_BENCH_BENCH_UTIL_H

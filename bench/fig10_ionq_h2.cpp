@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10: the real-system study. The paper ran the H2 ground
+ * state evolution on the IonQ Aria-1 ion-trap machine; hardware
+ * being unavailable here, the same compiled circuits run on the
+ * noisy simulator configured with the device fidelities the paper
+ * quotes (99.99% 1q, 98.91% 2q, 98.82% readout). Reported: the
+ * measured-energy distribution per encoding.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "circuit/pauli_compiler.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/exact.h"
+#include "sim/noise.h"
+
+using namespace fermihedral;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Figure 10: H2 on a simulated IonQ Aria-1.");
+    const auto *shots =
+        flags.addInt("shots", 1000, "measurement shots");
+    const auto *timeout =
+        flags.addDouble("timeout", 45.0, "SAT budget (s)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    bench::banner("H2 on simulated IonQ Aria-1", "Figure 10");
+    const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
+
+    const auto sat = bench::solveForHamiltonian(
+        h2, bench::Config::FullSat, *timeout / 2.0, *timeout);
+
+    const auto noise = sim::NoiseModel::ionqAria1();
+    Table table({"Encoding", "E measured", "sigma", "E0 exact",
+                 "CNOTs"});
+    Rng rng(1010);
+    for (const auto &[name, encoding] :
+         std::vector<std::pair<std::string, enc::FermionEncoding>>{
+             {"JW", enc::jordanWigner(4)},
+             {"BK", enc::bravyiKitaev(4)},
+             {"Full SAT", sat.encoding}}) {
+        const auto qubit_h = enc::mapToQubits(h2, encoding);
+        const auto eigen = sim::eigendecompose(qubit_h);
+        const auto initial = eigen.state(0);
+        const auto circuit = circuit::compileTrotter(qubit_h, 1.0);
+        const auto stats = sim::measureEnergy(
+            circuit, initial, qubit_h, noise,
+            static_cast<std::size_t>(*shots), rng);
+        table.addRow(
+            {name, Table::num(stats.mean, 3),
+             Table::num(stats.standardDeviation, 3),
+             Table::num(eigen.values[0], 3),
+             Table::num(std::int64_t(circuit.costs().cnotGates))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("Paper measured E = -1.49 (JW), -1.54 (BK), -1.56 "
+                "(Full SAT) on the real device; the ordering and "
+                "sigma ranking are the reproduced shape.\n");
+    return 0;
+}

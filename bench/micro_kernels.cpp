@@ -1,0 +1,207 @@
+/**
+ * @file
+ * google-benchmark micro-kernels for the performance-critical
+ * primitives: Pauli algebra, SAT solving, state-vector gates,
+ * Hamiltonian mapping and annealing sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/pauli_compiler.h"
+#include "common/rng.h"
+#include "core/annealing.h"
+#include "encodings/encoding.h"
+#include "encodings/linear.h"
+#include "fermion/models.h"
+#include "sat/solver.h"
+#include "sat/totalizer.h"
+#include "sim/exact.h"
+#include "sim/statevector.h"
+
+using namespace fermihedral;
+
+namespace {
+
+pauli::PauliString
+randomString(std::size_t qubits, Rng &rng)
+{
+    pauli::PauliString p(qubits);
+    for (std::size_t q = 0; q < qubits; ++q)
+        p.setOp(q, static_cast<pauli::PauliOp>(rng.nextBelow(4)));
+    return p;
+}
+
+void
+BM_PauliProduct(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto a = randomString(32, rng);
+    const auto b = randomString(32, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_PauliProduct);
+
+void
+BM_PauliProductWeight(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto a = randomString(32, rng);
+    const auto b = randomString(32, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pauli::productWeight(a, b));
+}
+BENCHMARK(BM_PauliProductWeight);
+
+void
+BM_StateVectorHadamard(benchmark::State &state)
+{
+    sim::StateVector psi(
+        static_cast<std::size_t>(state.range(0)));
+    const circuit::Gate gate{circuit::GateKind::H, 0, 0, 0.0};
+    for (auto _ : state) {
+        psi.applyGate(gate);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StateVectorHadamard)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_StateVectorCnot(benchmark::State &state)
+{
+    sim::StateVector psi(
+        static_cast<std::size_t>(state.range(0)));
+    psi.applyGate({circuit::GateKind::H, 0, 0, 0.0});
+    for (auto _ : state) {
+        psi.applyGate({circuit::GateKind::Cnot, 0,
+                       static_cast<std::uint32_t>(state.range(0)) -
+                           1,
+                       0.0});
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StateVectorCnot)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_PauliExpectation(benchmark::State &state)
+{
+    Rng rng(3);
+    const std::size_t qubits = 10;
+    sim::StateVector psi(qubits);
+    for (std::uint32_t q = 0; q < qubits; ++q)
+        psi.applyGate({circuit::GateKind::H, q, 0, 0.0});
+    pauli::PauliSum h(qubits);
+    for (int t = 0; t < 50; ++t)
+        h.add(rng.nextGaussian(), randomString(qubits, rng));
+    h.simplify();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(psi.expectation(h));
+}
+BENCHMARK(BM_PauliExpectation);
+
+void
+BM_SatSolveRandom3Sat(benchmark::State &state)
+{
+    const int num_vars = static_cast<int>(state.range(0));
+    const int clauses = num_vars * 4;
+    for (auto _ : state) {
+        state.PauseTiming();
+        Rng rng(77);
+        sat::Solver solver;
+        for (int v = 0; v < num_vars; ++v)
+            solver.newVar();
+        for (int c = 0; c < clauses; ++c) {
+            const auto v1 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            const auto v2 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            const auto v3 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            solver.addTernary(sat::mkLit(v1, rng.nextBool()),
+                              sat::mkLit(v2, rng.nextBool()),
+                              sat::mkLit(v3, rng.nextBool()));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_SatSolveRandom3Sat)->Arg(50)->Arg(100);
+
+void
+BM_TotalizerConstruction(benchmark::State &state)
+{
+    const int inputs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sat::Solver solver;
+        std::vector<sat::Lit> in;
+        for (int i = 0; i < inputs; ++i)
+            in.push_back(sat::mkLit(solver.newVar()));
+        sat::Totalizer totalizer(solver, in, inputs / 4);
+        benchmark::DoNotOptimize(totalizer.width());
+    }
+}
+BENCHMARK(BM_TotalizerConstruction)->Arg(128)->Arg(512);
+
+void
+BM_MapToQubits(benchmark::State &state)
+{
+    const auto h = fermion::fermiHubbard1D(4, 1.0, 4.0);
+    const auto bk = enc::bravyiKitaev(h.modes());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(enc::mapToQubits(h, bk));
+}
+BENCHMARK(BM_MapToQubits);
+
+void
+BM_HamiltonianPauliWeight(benchmark::State &state)
+{
+    Rng rng(5);
+    const auto h = fermion::sykModel(6, rng);
+    const auto bk = enc::bravyiKitaev(h.modes());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            enc::hamiltonianPauliWeight(h, bk));
+}
+BENCHMARK(BM_HamiltonianPauliWeight);
+
+void
+BM_AnnealingRun(benchmark::State &state)
+{
+    const auto h = fermion::fermiHubbard1D(4, 1.0, 4.0);
+    const auto bk = enc::bravyiKitaev(h.modes());
+    core::AnnealingOptions options;
+    options.iterationsPerTemperature = 50;
+    options.initialTemperature = 10.0;
+    options.temperatureStep = 1.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::annealPairing(bk, h, options));
+}
+BENCHMARK(BM_AnnealingRun);
+
+void
+BM_CompileTrotter(benchmark::State &state)
+{
+    const auto h = fermion::fermiHubbard1D(3, 1.0, 4.0);
+    const auto qubit_h =
+        enc::mapToQubits(h, enc::bravyiKitaev(h.modes()));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            circuit::compileTrotter(qubit_h, 1.0));
+}
+BENCHMARK(BM_CompileTrotter);
+
+void
+BM_Eigendecompose(benchmark::State &state)
+{
+    const auto h = fermion::fermiHubbard1D(3, 1.0, 4.0);
+    const auto qubit_h =
+        enc::mapToQubits(h, enc::jordanWigner(h.modes()));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::eigendecompose(qubit_h));
+}
+BENCHMARK(BM_Eigendecompose);
+
+} // namespace
+
+BENCHMARK_MAIN();

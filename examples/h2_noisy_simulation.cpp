@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end noisy simulation of the H2 molecule (the paper's
+ * quantum-chemistry workload): find a Hamiltonian-dependent optimal
+ * encoding, compile the Trotter circuit, and measure the ground
+ * state energy drift under increasing two-qubit gate error.
+ *
+ * Usage: h2_noisy_simulation [--shots=300] [--timeout=30]
+ */
+
+#include <cstdio>
+
+#include "circuit/pauli_compiler.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/descent_solver.h"
+#include "encodings/linear.h"
+#include "fermion/models.h"
+#include "sim/exact.h"
+#include "sim/noise.h"
+
+using namespace fermihedral;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Noisy H2 ground-state simulation per encoding.");
+    const auto *shots =
+        flags.addInt("shots", 300, "trajectories per setting");
+    const auto *timeout =
+        flags.addDouble("timeout", 30.0, "SAT budget (s)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
+    std::printf("H2/STO-3G: %zu spin orbitals, %zu terms\n",
+                h2.modes(), h2.termCount());
+
+    core::DescentOptions options;
+    options.stepTimeoutSeconds = *timeout / 3.0;
+    options.totalTimeoutSeconds = *timeout;
+    core::DescentSolver solver(h2, options);
+    const auto sat = solver.solve();
+    std::printf("SAT encoding: Hamiltonian Pauli weight %zu "
+                "(BK baseline %zu)\n",
+                sat.cost, sat.baselineCost);
+
+    struct Entry
+    {
+        const char *name;
+        enc::FermionEncoding encoding;
+    };
+    const Entry entries[] = {
+        {"JW", enc::jordanWigner(4)},
+        {"BK", enc::bravyiKitaev(4)},
+        {"SAT", sat.encoding},
+    };
+
+    Table table({"2q error", "Encoding", "E (measured)", "sigma",
+                 "E0 (exact)"});
+    Rng rng(20240427);
+    for (const double error : {1e-4, 1e-3, 1e-2}) {
+        for (const auto &entry : entries) {
+            const auto qubit_h = enc::mapToQubits(h2,
+                                                  entry.encoding);
+            const auto eigen = sim::eigendecompose(qubit_h);
+            const auto initial = eigen.state(0);
+            const auto circuit =
+                circuit::compileTrotter(qubit_h, 1.0);
+
+            sim::NoiseModel noise;
+            noise.singleQubitError = 1e-4;
+            noise.twoQubitError = error;
+            const auto stats = sim::measureEnergy(
+                circuit, initial, qubit_h, noise,
+                static_cast<std::size_t>(*shots), rng);
+            table.addRow({Table::num(error, 4), entry.name,
+                          Table::num(stats.mean, 4),
+                          Table::num(stats.standardDeviation, 4),
+                          Table::num(eigen.values[0], 4)});
+        }
+    }
+    std::printf("\n%s", table.render().c_str());
+    std::printf("Lower drift from E0 and smaller sigma indicate a "
+                "better encoding.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hamiltonian-dependent encoding search for the four-body SYK model
+ * (the paper's quantum-field-theory workload): compare Full SAT
+ * against the scalable SAT + simulated-annealing pipeline.
+ *
+ * Usage: syk_encoding_search [--modes=3] [--seed=7] [--timeout=60]
+ */
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/annealing.h"
+#include "core/descent_solver.h"
+#include "encodings/linear.h"
+#include "fermion/models.h"
+
+using namespace fermihedral;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("SYK Hamiltonian-dependent encoding search.");
+    const auto *modes = flags.addInt("modes", 3, "Fermionic modes");
+    const auto *seed = flags.addInt("seed", 7, "coupling seed");
+    const auto *timeout =
+        flags.addDouble("timeout", 60.0, "SAT budget (s)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    Rng rng(static_cast<std::uint64_t>(*seed));
+    const auto n = static_cast<std::size_t>(*modes);
+    const auto syk = fermion::sykModel(n, rng);
+    std::printf("SYK: %zu modes (%zu Majoranas), %zu four-body "
+                "terms\n",
+                n, 2 * n, syk.majoranaTerms().size());
+
+    const auto bk = enc::bravyiKitaev(n);
+    const auto bk_weight = enc::hamiltonianPauliWeight(syk, bk);
+
+    // Full SAT: the Hamiltonian-dependent objective in the model.
+    core::DescentOptions full_options;
+    full_options.stepTimeoutSeconds = *timeout / 3.0;
+    full_options.totalTimeoutSeconds = *timeout;
+    core::DescentSolver full_solver(syk, full_options);
+    const auto full = full_solver.solve();
+
+    // SAT + annealing: independent objective, then pair assignment.
+    core::DescentOptions indep_options = full_options;
+    core::DescentSolver indep_solver(n, indep_options);
+    const auto indep = indep_solver.solve();
+    const auto annealed = core::annealPairing(indep.encoding, syk);
+
+    auto reduction = [bk_weight](std::size_t w) {
+        return Table::percent(
+            1.0 - double(w) / double(bk_weight), 2);
+    };
+    Table table({"Method", "Ham. Pauli weight", "vs BK"});
+    table.addRow({"Bravyi-Kitaev",
+                  Table::num(std::int64_t(bk_weight)), "-"});
+    table.addRow({"SAT+Anl.",
+                  Table::num(std::int64_t(annealed.finalCost)),
+                  reduction(annealed.finalCost)});
+    table.addRow({full.provedOptimal ? "Full SAT (optimal)"
+                                     : "Full SAT (budgeted)",
+                  Table::num(std::int64_t(full.cost)),
+                  reduction(full.cost)});
+    std::printf("\n%s", table.render().c_str());
+
+    const auto validation = enc::validateEncoding(full.encoding);
+    std::printf("Full SAT encoding valid: %s\n",
+                validation.valid() ? "yes" : validation.detail.c_str());
+    return 0;
+}

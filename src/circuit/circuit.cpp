@@ -1,0 +1,108 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fermihedral::circuit {
+
+Circuit::Circuit(std::size_t num_qubits) : n(num_qubits)
+{
+    require(num_qubits >= 1 && num_qubits <= 64,
+            "Circuit supports 1..64 qubits");
+}
+
+void
+Circuit::checkQubit(std::uint32_t qubit) const
+{
+    require(qubit < n, "gate qubit ", qubit, " out of range for ", n,
+            "-qubit circuit");
+}
+
+void
+Circuit::add(GateKind kind, std::uint32_t qubit, double angle)
+{
+    require(!isTwoQubit(kind), "use addCnot for two-qubit gates");
+    checkQubit(qubit);
+    gateList.push_back(Gate{kind, qubit, 0, angle});
+}
+
+void
+Circuit::addCnot(std::uint32_t control, std::uint32_t target)
+{
+    checkQubit(control);
+    checkQubit(target);
+    require(control != target, "CNOT control equals target");
+    gateList.push_back(Gate{GateKind::Cnot, control, target, 0.0});
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    require(other.n == n, "appending circuit of different width");
+    gateList.insert(gateList.end(), other.gateList.begin(),
+                    other.gateList.end());
+}
+
+CircuitCosts
+Circuit::costs() const
+{
+    CircuitCosts costs;
+    std::vector<std::size_t> level(n, 0);
+    for (const Gate &gate : gateList) {
+        if (gate.kind == GateKind::Cnot) {
+            ++costs.cnotGates;
+            const std::size_t at =
+                std::max(level[gate.qubit0], level[gate.qubit1]) + 1;
+            level[gate.qubit0] = at;
+            level[gate.qubit1] = at;
+        } else {
+            ++costs.singleQubitGates;
+            level[gate.qubit0] += 1;
+        }
+    }
+    costs.totalGates = costs.singleQubitGates + costs.cnotGates;
+    costs.depth = level.empty()
+                      ? 0
+                      : *std::max_element(level.begin(), level.end());
+    return costs;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(6);
+    for (const Gate &gate : gateList) {
+        oss << gateName(gate.kind);
+        if (isRotation(gate.kind))
+            oss << '(' << gate.angle << ')';
+        oss << " q" << gate.qubit0;
+        if (gate.kind == GateKind::Cnot)
+            oss << ", q" << gate.qubit1;
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::Rx: return "rx";
+      case GateKind::Ry: return "ry";
+      case GateKind::Rz: return "rz";
+      case GateKind::Cnot: return "cx";
+    }
+    return "?";
+}
+
+} // namespace fermihedral::circuit

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quantum circuit intermediate representation and cost metrics.
+ *
+ * The gate set is what the Pauli-evolution compiler emits (Fig. 3):
+ * single-qubit Cliffords, Z/X/Y rotations and CNOT. Gate counts and
+ * ASAP depth reproduce the Table 6 metrics.
+ */
+
+#ifndef FERMIHEDRAL_CIRCUIT_CIRCUIT_H
+#define FERMIHEDRAL_CIRCUIT_CIRCUIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fermihedral::circuit {
+
+/** Gate kinds in the compiler's target set. */
+enum class GateKind : std::uint8_t
+{
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    Rx,
+    Ry,
+    Rz,
+    Cnot,
+};
+
+/** True for the parameterised rotation gates. */
+constexpr bool
+isRotation(GateKind kind)
+{
+    return kind == GateKind::Rx || kind == GateKind::Ry ||
+           kind == GateKind::Rz;
+}
+
+/** True for two-qubit gates. */
+constexpr bool
+isTwoQubit(GateKind kind)
+{
+    return kind == GateKind::Cnot;
+}
+
+/** One gate instance. */
+struct Gate
+{
+    GateKind kind;
+    /** Target qubit (CNOT: control in qubit0, target in qubit1). */
+    std::uint32_t qubit0;
+    std::uint32_t qubit1 = 0;
+    /** Rotation angle for Rx/Ry/Rz, otherwise 0. */
+    double angle = 0.0;
+};
+
+/** Aggregate cost metrics of a circuit (Table 6 columns). */
+struct CircuitCosts
+{
+    std::size_t singleQubitGates = 0;
+    std::size_t cnotGates = 0;
+    std::size_t totalGates = 0;
+    std::size_t depth = 0;
+};
+
+/** A gate list over a fixed number of qubits. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return n; }
+    const std::vector<Gate> &gates() const { return gateList; }
+    std::size_t size() const { return gateList.size(); }
+
+    /** Append a single-qubit gate. */
+    void add(GateKind kind, std::uint32_t qubit, double angle = 0.0);
+
+    /** Append a CNOT. */
+    void addCnot(std::uint32_t control, std::uint32_t target);
+
+    /** Append all gates of another circuit (same width). */
+    void append(const Circuit &other);
+
+    /** Gate counts and ASAP depth. */
+    CircuitCosts costs() const;
+
+    /** One-gate-per-line listing for the examples. */
+    std::string toString() const;
+
+  private:
+    std::size_t n = 0;
+    std::vector<Gate> gateList;
+
+    void checkQubit(std::uint32_t qubit) const;
+};
+
+/** Printable gate name ("h", "cx", ...). */
+const char *gateName(GateKind kind);
+
+} // namespace fermihedral::circuit
+
+#endif // FERMIHEDRAL_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,135 @@
+#include "circuit/passes.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fermihedral::circuit {
+
+namespace {
+
+/** True when the two gates are mutually inverse 1q Cliffords. */
+bool
+inversePair(GateKind a, GateKind b)
+{
+    if (a == b) {
+        return a == GateKind::H || a == GateKind::X ||
+               a == GateKind::Y || a == GateKind::Z;
+    }
+    return (a == GateKind::S && b == GateKind::Sdg) ||
+           (a == GateKind::Sdg && b == GateKind::S);
+}
+
+/** Angle folded to (-2 pi, 2 pi]; rotation matrices have period
+ *  4 pi (Rz(theta + 2 pi) = -Rz(theta)), so folding modulo 4 pi
+ *  keeps the optimized circuit equal as a matrix, not merely up to
+ *  a global phase. */
+double
+foldAngle(double angle)
+{
+    constexpr double four_pi = 4.0 * M_PI;
+    angle = std::fmod(angle, four_pi);
+    if (angle > 2.0 * M_PI)
+        angle -= four_pi;
+    if (angle <= -2.0 * M_PI)
+        angle += four_pi;
+    return angle;
+}
+
+} // namespace
+
+std::size_t
+cancelAndMergeOnce(Circuit &circuit)
+{
+    const std::size_t n = circuit.numQubits();
+    std::vector<Gate> gates(circuit.gates());
+    std::vector<char> alive(gates.size(), 1);
+    // Per-qubit stack of indices of alive gates touching the qubit,
+    // in program order; back() is the latest.
+    std::vector<std::vector<std::size_t>> last(n);
+
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        Gate &gate = gates[i];
+        if (gate.kind == GateKind::Cnot) {
+            auto &sc = last[gate.qubit0];
+            auto &st = last[gate.qubit1];
+            if (!sc.empty() && !st.empty() &&
+                sc.back() == st.back()) {
+                const std::size_t j = sc.back();
+                const Gate &prev = gates[j];
+                if (prev.kind == GateKind::Cnot &&
+                    prev.qubit0 == gate.qubit0 &&
+                    prev.qubit1 == gate.qubit1) {
+                    alive[j] = 0;
+                    alive[i] = 0;
+                    sc.pop_back();
+                    st.pop_back();
+                    removed += 2;
+                    continue;
+                }
+            }
+            sc.push_back(i);
+            st.push_back(i);
+            continue;
+        }
+
+        auto &stack = last[gate.qubit0];
+        if (!stack.empty()) {
+            const std::size_t j = stack.back();
+            Gate &prev = gates[j];
+            if (prev.kind != GateKind::Cnot &&
+                prev.qubit0 == gate.qubit0) {
+                if (inversePair(prev.kind, gate.kind)) {
+                    alive[j] = 0;
+                    alive[i] = 0;
+                    stack.pop_back();
+                    removed += 2;
+                    continue;
+                }
+                if (isRotation(gate.kind) &&
+                    prev.kind == gate.kind) {
+                    prev.angle = foldAngle(prev.angle + gate.angle);
+                    alive[i] = 0;
+                    ++removed;
+                    if (std::abs(prev.angle) < 1e-12) {
+                        alive[j] = 0;
+                        stack.pop_back();
+                        ++removed;
+                    }
+                    continue;
+                }
+            }
+        }
+        if (isRotation(gate.kind) &&
+            std::abs(foldAngle(gate.angle)) < 1e-12) {
+            alive[i] = 0;
+            ++removed;
+            continue;
+        }
+        stack.push_back(i);
+    }
+
+    Circuit rebuilt(n);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (!alive[i])
+            continue;
+        if (gates[i].kind == GateKind::Cnot)
+            rebuilt.addCnot(gates[i].qubit0, gates[i].qubit1);
+        else
+            rebuilt.add(gates[i].kind, gates[i].qubit0,
+                        gates[i].angle);
+    }
+    circuit = std::move(rebuilt);
+    return removed;
+}
+
+void
+optimizeCircuit(Circuit &circuit)
+{
+    while (cancelAndMergeOnce(circuit) > 0) {
+    }
+}
+
+} // namespace fermihedral::circuit

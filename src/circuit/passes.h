@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Peephole optimization passes over the circuit IR.
+ *
+ * A light-weight stand-in for the Qiskit level-3 stack used by the
+ * paper's Table 6: cancel adjacent self-inverse pairs (H/X/Y/Z,
+ * CNOT-CNOT, S-Sdg), merge adjacent equal-axis rotations, and drop
+ * rotations by multiples of 2 pi. Passes run to a fixpoint.
+ */
+
+#ifndef FERMIHEDRAL_CIRCUIT_PASSES_H
+#define FERMIHEDRAL_CIRCUIT_PASSES_H
+
+#include "circuit/circuit.h"
+
+namespace fermihedral::circuit {
+
+/**
+ * One optimization pass: cancel inverse pairs and merge rotations
+ * that are adjacent on their qubits. Returns the number of gates
+ * removed.
+ */
+std::size_t cancelAndMergeOnce(Circuit &circuit);
+
+/** Run cancelAndMergeOnce until no gate is removed. */
+void optimizeCircuit(Circuit &circuit);
+
+} // namespace fermihedral::circuit
+
+#endif // FERMIHEDRAL_CIRCUIT_PASSES_H

@@ -1,0 +1,33 @@
+#include "circuit/qasm.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fermihedral::circuit {
+
+std::string
+toQasm(const Circuit &circuit, bool measure)
+{
+    std::ostringstream oss;
+    oss << "OPENQASM 2.0;\n";
+    oss << "include \"qelib1.inc\";\n";
+    oss << "qreg q[" << circuit.numQubits() << "];\n";
+    if (measure)
+        oss << "creg c[" << circuit.numQubits() << "];\n";
+    oss << std::setprecision(17);
+    for (const Gate &gate : circuit.gates()) {
+        oss << gateName(gate.kind);
+        if (isRotation(gate.kind))
+            oss << '(' << gate.angle << ')';
+        oss << " q[" << gate.qubit0 << ']';
+        if (gate.kind == GateKind::Cnot)
+            oss << ", q[" << gate.qubit1 << ']';
+        oss << ";\n";
+    }
+    if (measure) {
+        oss << "measure q -> c;\n";
+    }
+    return oss.str();
+}
+
+} // namespace fermihedral::circuit

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * OpenQASM 2.0 export for compiled circuits, so encodings found by
+ * this library can be executed on real backends (the paper's IonQ
+ * study submitted such circuits through Amazon Braket).
+ */
+
+#ifndef FERMIHEDRAL_CIRCUIT_QASM_H
+#define FERMIHEDRAL_CIRCUIT_QASM_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace fermihedral::circuit {
+
+/**
+ * Render the circuit as OpenQASM 2.0 using the standard qelib1
+ * gates (h, x, y, z, s, sdg, rx, ry, rz, cx).
+ *
+ * @param circuit The circuit to render.
+ * @param measure Append a full register measurement when true.
+ */
+std::string toQasm(const Circuit &circuit, bool measure = false);
+
+} // namespace fermihedral::circuit
+
+#endif // FERMIHEDRAL_CIRCUIT_QASM_H

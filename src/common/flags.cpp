@@ -1,0 +1,161 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fermihedral {
+
+FlagSet::FlagSet(std::string description)
+    : description(std::move(description))
+{
+}
+
+FlagSet::~FlagSet()
+{
+    for (Flag *flag : flags)
+        delete flag;
+}
+
+std::int64_t *
+FlagSet::addInt(const std::string &name, std::int64_t default_value,
+                const std::string &help)
+{
+    auto *flag = new Flag();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::Int;
+    flag->intValue = default_value;
+    flag->defaultText = std::to_string(default_value);
+    flags.push_back(flag);
+    return &flag->intValue;
+}
+
+double *
+FlagSet::addDouble(const std::string &name, double default_value,
+                   const std::string &help)
+{
+    auto *flag = new Flag();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::Double;
+    flag->doubleValue = default_value;
+    flag->defaultText = std::to_string(default_value);
+    flags.push_back(flag);
+    return &flag->doubleValue;
+}
+
+bool *
+FlagSet::addBool(const std::string &name, bool default_value,
+                 const std::string &help)
+{
+    auto *flag = new Flag();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::Bool;
+    flag->boolValue = default_value;
+    flag->defaultText = default_value ? "true" : "false";
+    flags.push_back(flag);
+    return &flag->boolValue;
+}
+
+std::string *
+FlagSet::addString(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help)
+{
+    auto *flag = new Flag();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::String;
+    flag->stringValue = default_value;
+    flag->defaultText = default_value.empty() ? "\"\"" : default_value;
+    flags.push_back(flag);
+    return &flag->stringValue;
+}
+
+FlagSet::Flag *
+FlagSet::find(const std::string &name)
+{
+    for (Flag *flag : flags) {
+        if (flag->name == name)
+            return flag;
+    }
+    return nullptr;
+}
+
+void
+FlagSet::assign(Flag &flag, const std::string &text)
+{
+    switch (flag.kind) {
+      case Kind::Int:
+        flag.intValue = std::strtoll(text.c_str(), nullptr, 10);
+        break;
+      case Kind::Double:
+        flag.doubleValue = std::strtod(text.c_str(), nullptr);
+        break;
+      case Kind::Bool:
+        flag.boolValue = !(text == "false" || text == "0" ||
+                           text == "no");
+        break;
+      case Kind::String:
+        flag.stringValue = text;
+        break;
+    }
+}
+
+bool
+FlagSet::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+
+        Flag *flag = find(arg);
+        if (!flag)
+            fatal("unknown flag '--", arg, "' (try --help)");
+
+        if (!has_value) {
+            if (flag->kind == Kind::Bool) {
+                flag->boolValue = true;
+                continue;
+            }
+            if (i + 1 >= argc)
+                fatal("flag '--", arg, "' expects a value");
+            value = argv[++i];
+        }
+        assign(*flag, value);
+    }
+    return true;
+}
+
+std::string
+FlagSet::usage() const
+{
+    std::ostringstream oss;
+    oss << description << "\n\nFlags:\n";
+    for (const Flag *flag : flags) {
+        oss << "  --" << flag->name << " (default: "
+            << flag->defaultText << ")\n      " << flag->help << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace fermihedral

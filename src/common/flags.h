@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench/example binaries.
+ *
+ * Each binary declares the flags it understands and calls
+ * FlagSet::parse(argc, argv). Supported syntaxes: --name=value,
+ * --name value, and --name for booleans. --help prints the registered
+ * flags with their defaults and exits.
+ */
+
+#ifndef FERMIHEDRAL_COMMON_FLAGS_H
+#define FERMIHEDRAL_COMMON_FLAGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fermihedral {
+
+/** A registry of typed command-line flags. */
+class FlagSet
+{
+  public:
+    /** @param description One-line summary printed by --help. */
+    explicit FlagSet(std::string description);
+
+    /** Register an integer flag; returns a stable pointer to it. */
+    std::int64_t *addInt(const std::string &name,
+                         std::int64_t default_value,
+                         const std::string &help);
+
+    /** Register a floating-point flag. */
+    double *addDouble(const std::string &name, double default_value,
+                      const std::string &help);
+
+    /** Register a boolean flag (set by presence or =true/=false). */
+    bool *addBool(const std::string &name, bool default_value,
+                  const std::string &help);
+
+    /** Register a string flag. */
+    std::string *addString(const std::string &name,
+                           const std::string &default_value,
+                           const std::string &help);
+
+    /**
+     * Parse argv. Unknown flags are fatal. --help prints usage and
+     * returns false (callers should exit 0).
+     */
+    bool parse(int argc, char **argv);
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { Int, Double, Bool, String };
+
+    struct Flag
+    {
+        std::string name;
+        std::string help;
+        Kind kind;
+        std::int64_t intValue = 0;
+        double doubleValue = 0.0;
+        bool boolValue = false;
+        std::string stringValue;
+        std::string defaultText;
+    };
+
+    Flag *find(const std::string &name);
+    void assign(Flag &flag, const std::string &text);
+
+    std::string description;
+    // Deque-like stability: flags are stored via unique pointers so the
+    // addresses handed out by add*() stay valid as more flags register.
+    std::vector<Flag *> flags;
+
+  public:
+    FlagSet(const FlagSet &) = delete;
+    FlagSet &operator=(const FlagSet &) = delete;
+    ~FlagSet();
+};
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_FLAGS_H

@@ -1,0 +1,171 @@
+#include "common/gf2.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace fermihedral {
+
+BitVector::BitVector(std::size_t size)
+    : words((size + 63) / 64, 0), numBits(size)
+{
+}
+
+bool
+BitVector::get(std::size_t index) const
+{
+    require(index < numBits, "BitVector::get out of range");
+    return (words[index / 64] >> (index % 64)) & 1u;
+}
+
+void
+BitVector::set(std::size_t index, bool value)
+{
+    require(index < numBits, "BitVector::set out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (index % 64);
+    if (value)
+        words[index / 64] |= mask;
+    else
+        words[index / 64] &= ~mask;
+}
+
+void
+BitVector::flip(std::size_t index)
+{
+    require(index < numBits, "BitVector::flip out of range");
+    words[index / 64] ^= std::uint64_t{1} << (index % 64);
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    require(numBits == other.numBits,
+            "BitVector xor length mismatch");
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] ^= other.words[w];
+    return *this;
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t count = 0;
+    for (std::uint64_t word : words)
+        count += static_cast<std::size_t>(std::popcount(word));
+    return count;
+}
+
+bool
+BitVector::isZero() const
+{
+    for (std::uint64_t word : words) {
+        if (word != 0)
+            return false;
+    }
+    return true;
+}
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : data(rows, BitVector(cols)), numCols(cols)
+{
+}
+
+BitMatrix
+BitMatrix::identity(std::size_t rows)
+{
+    BitMatrix m(rows, rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        m.set(i, i, true);
+    return m;
+}
+
+bool
+BitMatrix::get(std::size_t row, std::size_t col) const
+{
+    return data[row].get(col);
+}
+
+void
+BitMatrix::set(std::size_t row, std::size_t col, bool value)
+{
+    data[row].set(col, value);
+}
+
+BitVector
+BitMatrix::multiply(const BitVector &vec) const
+{
+    require(vec.size() == numCols, "BitMatrix::multiply size mismatch");
+    BitVector out(rows());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        // Row-vector dot product over GF(2).
+        std::size_t parity = 0;
+        for (std::size_t c = 0; c < numCols; ++c)
+            parity ^= (data[r].get(c) & vec.get(c)) ? 1u : 0u;
+        out.set(r, parity);
+    }
+    return out;
+}
+
+std::size_t
+BitMatrix::rank() const
+{
+    std::vector<BitVector> work(data);
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < numCols && rank < work.size();
+         ++col) {
+        std::size_t pivot = rank;
+        while (pivot < work.size() && !work[pivot].get(col))
+            ++pivot;
+        if (pivot == work.size())
+            continue;
+        std::swap(work[rank], work[pivot]);
+        for (std::size_t r = 0; r < work.size(); ++r) {
+            if (r != rank && work[r].get(col))
+                work[r] ^= work[rank];
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+std::optional<BitMatrix>
+BitMatrix::inverse() const
+{
+    if (rows() != numCols)
+        return std::nullopt;
+    const std::size_t n = rows();
+    std::vector<BitVector> left(data);
+    BitMatrix right = identity(n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        while (pivot < n && !left[pivot].get(col))
+            ++pivot;
+        if (pivot == n)
+            return std::nullopt;
+        std::swap(left[col], left[pivot]);
+        std::swap(right.row(col), right.row(pivot));
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r != col && left[r].get(col)) {
+                left[r] ^= left[col];
+                right.row(r) ^= right.row(col);
+            }
+        }
+    }
+    return right;
+}
+
+BitMatrix
+BitMatrix::transposed() const
+{
+    BitMatrix out(numCols, rows());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t c = 0; c < numCols; ++c) {
+            if (get(r, c))
+                out.set(c, r, true);
+        }
+    }
+    return out;
+}
+
+} // namespace fermihedral

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dense linear algebra over GF(2).
+ *
+ * Used by the linear Fermion-to-qubit encodings (Jordan-Wigner,
+ * Bravyi-Kitaev, Parity are all x = A n transforms of the occupation
+ * vector) and by the algebraic-independence validator, which reduces
+ * to a GF(2) rank computation on symplectic vectors.
+ */
+
+#ifndef FERMIHEDRAL_COMMON_GF2_H
+#define FERMIHEDRAL_COMMON_GF2_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fermihedral {
+
+/** A packed bit vector over GF(2) with xor arithmetic. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+    /** All-zero vector of the given length. */
+    explicit BitVector(std::size_t size);
+
+    std::size_t size() const { return numBits; }
+    bool get(std::size_t index) const;
+    void set(std::size_t index, bool value);
+    void flip(std::size_t index);
+
+    /** In-place xor with another vector of the same length. */
+    BitVector &operator^=(const BitVector &other);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** True when every bit is zero. */
+    bool isZero() const;
+
+    bool operator==(const BitVector &other) const = default;
+
+  private:
+    std::vector<std::uint64_t> words;
+    std::size_t numBits = 0;
+};
+
+/** A dense GF(2) matrix with row-major BitVector storage. */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+    /** All-zero rows x cols matrix. */
+    BitMatrix(std::size_t rows, std::size_t cols);
+
+    /** The rows x rows identity matrix. */
+    static BitMatrix identity(std::size_t rows);
+
+    std::size_t rows() const { return data.size(); }
+    std::size_t cols() const { return numCols; }
+
+    bool get(std::size_t row, std::size_t col) const;
+    void set(std::size_t row, std::size_t col, bool value);
+
+    BitVector &row(std::size_t index) { return data[index]; }
+    const BitVector &row(std::size_t index) const
+    {
+        return data[index];
+    }
+
+    /** Matrix-vector product over GF(2). */
+    BitVector multiply(const BitVector &vec) const;
+
+    /** Rank via Gaussian elimination (does not modify *this). */
+    std::size_t rank() const;
+
+    /** Inverse if square and invertible, std::nullopt otherwise. */
+    std::optional<BitMatrix> inverse() const;
+
+    /** Transpose. */
+    BitMatrix transposed() const;
+
+  private:
+    std::vector<BitVector> data;
+    std::size_t numCols = 0;
+};
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_GF2_H

@@ -1,0 +1,17 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace fermihedral {
+namespace detail {
+
+/** Write a tagged single-line message to stderr. */
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace fermihedral

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: inform()/warn() report conditions to the
+ * user without stopping, fatal() aborts because of a user error (bad
+ * arguments, impossible configuration), and panic() aborts because an
+ * internal invariant was violated (a bug in this library).
+ */
+
+#ifndef FERMIHEDRAL_COMMON_LOGGING_H
+#define FERMIHEDRAL_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fermihedral {
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(const char *tag, const std::string &message);
+
+} // namespace detail
+
+/** Error thrown by fatal(): the user asked for something impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what) {}
+};
+
+/** Print an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort the current computation because of a user-level error.
+ *
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Abort because an internal invariant does not hold (a library bug).
+ *
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Check an invariant; panic with a message when it fails. */
+template <typename... Args>
+void
+require(bool condition, Args&&... args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_LOGGING_H

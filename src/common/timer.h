@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the descent solver budgets and the
+ * time-to-solution benchmarks (Figure 11).
+ */
+
+#ifndef FERMIHEDRAL_COMMON_TIMER_H
+#define FERMIHEDRAL_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace fermihedral {
+
+/** Simple steady-clock stopwatch. Starts running on construction. */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed wall-clock time in seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+
+    /** Elapsed wall-clock time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_TIMER_H

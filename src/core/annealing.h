@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Algorithm 2: simulated-annealing assignment of Majorana operators
+ * to creation/annihilation pairs (Section 4.2).
+ *
+ * Given a Hamiltonian-independent optimal encoding, the remaining
+ * freedom is which Majorana pair implements which Fermionic mode.
+ * The annealer takes the Hamiltonian Pauli weight (Eq. 14) as the
+ * energy and proposes pair swaps, which preserve the vacuum
+ * pairing property exactly as the paper argues.
+ */
+
+#ifndef FERMIHEDRAL_CORE_ANNEALING_H
+#define FERMIHEDRAL_CORE_ANNEALING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "encodings/encoding.h"
+#include "fermion/operators.h"
+
+namespace fermihedral::core {
+
+/** Annealing schedule parameters (paper's T0, T1, alpha, i). */
+struct AnnealingOptions
+{
+    /** Initial temperature. */
+    double initialTemperature = 40.0;
+    /** Final temperature. */
+    double finalTemperature = 0.5;
+    /** Linear temperature decrement per outer step. */
+    double temperatureStep = 0.5;
+    /** Proposals per temperature. */
+    std::size_t iterationsPerTemperature = 200;
+    /** RNG seed (deterministic runs). */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Result of an annealing run. */
+struct AnnealingResult
+{
+    /** The re-paired encoding. */
+    enc::FermionEncoding encoding;
+    /** Mode -> original pair index permutation chosen. */
+    std::vector<std::uint32_t> assignment;
+    /** Hamiltonian Pauli weight before annealing. */
+    std::size_t initialCost = 0;
+    /** Hamiltonian Pauli weight after annealing. */
+    std::size_t finalCost = 0;
+    /** Total proposals evaluated. */
+    std::size_t proposals = 0;
+    /** Accepted proposals. */
+    std::size_t accepted = 0;
+};
+
+/**
+ * Run Algorithm 2: search over pair permutations of `base` that
+ * minimise the Hamiltonian Pauli weight of `hamiltonian`.
+ */
+AnnealingResult annealPairing(
+    const enc::FermionEncoding &base,
+    const fermion::FermionHamiltonian &hamiltonian,
+    const AnnealingOptions &options = {});
+
+} // namespace fermihedral::core
+
+#endif // FERMIHEDRAL_CORE_ANNEALING_H

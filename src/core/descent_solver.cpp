@@ -1,0 +1,182 @@
+#include "core/descent_solver.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "encodings/linear.h"
+#include "encodings/ternary_tree.h"
+
+namespace fermihedral::core {
+
+DescentSolver::DescentSolver(std::size_t modes,
+                             const DescentOptions &options)
+    : modes(modes), options(options)
+{
+}
+
+DescentSolver::DescentSolver(
+    const fermion::FermionHamiltonian &hamiltonian,
+    const DescentOptions &options)
+    : modes(hamiltonian.modes()), options(options),
+      structure(fermion::majoranaStructure(hamiltonian))
+{
+}
+
+std::size_t
+DescentSolver::baselineCost(const enc::FermionEncoding &bk) const
+{
+    if (structure.empty())
+        return bk.totalWeight();
+    std::size_t total = 0;
+    for (const auto &subset : structure) {
+        total += subset.multiplicity *
+                 enc::majoranaProduct(bk, subset.mask).weight();
+    }
+    return total;
+}
+
+DescentResult
+DescentSolver::solve()
+{
+    Timer total_timer;
+    DescentResult result;
+
+    const enc::FermionEncoding bk = enc::bravyiKitaev(modes);
+    result.baselineCost = baselineCost(bk);
+
+    // Start from the cheapest encoding that satisfies the active
+    // constraints. BK always does; the ternary tree lacks the X/Y
+    // vacuum pairing, so it only qualifies when that (optional,
+    // Sec. 3.1) constraint is relaxed.
+    enc::FermionEncoding start = bk;
+    std::size_t start_cost = result.baselineCost;
+    if (!options.vacuumPreservation) {
+        const enc::FermionEncoding tt = enc::ternaryTree(modes);
+        const std::size_t tt_cost = baselineCost(tt);
+        if (tt_cost < start_cost) {
+            start = tt;
+            start_cost = tt_cost;
+        }
+    }
+    if (options.seedEncoding &&
+        options.seedEncoding->modes == modes) {
+        const auto &seed = *options.seedEncoding;
+        const auto validation = enc::validateEncoding(seed);
+        const bool feasible =
+            validation.valid() &&
+            (!options.vacuumPreservation || validation.xyPairing);
+        const std::size_t seed_cost = baselineCost(seed);
+        if (feasible && seed_cost < start_cost) {
+            start = seed;
+            start_cost = seed_cost;
+        }
+    }
+    const std::size_t w0 =
+        options.initialBound.value_or(start_cost);
+
+    // The starting encoding is itself feasible at cost w0, so the
+    // descent can begin by asking for strictly less.
+    result.encoding = start;
+    result.cost = start_cost;
+
+    Timer construct_timer;
+    solver = std::make_unique<sat::Solver>();
+    EncodingModelOptions model_options;
+    model_options.modes = modes;
+    model_options.algebraicIndependence =
+        options.algebraicIndependence;
+    model_options.vacuumPreservation = options.vacuumPreservation;
+    model_options.hamiltonianStructure = structure;
+    model_options.costCap = std::max<std::size_t>(w0, 1);
+    model = std::make_unique<EncodingModel>(*solver, model_options);
+    if (options.warmStart)
+        model->warmStart(start);
+    result.constructSeconds = construct_timer.seconds();
+    result.numVars = solver->numVars();
+    result.numClauses = solver->numClauses();
+
+    // Descent loop (Algorithm 1): each round permanently bounds the
+    // cost one below the best known solution.
+    std::size_t best = std::min(w0, start_cost);
+    Timer solve_timer;
+    while (best > 0) {
+        const double elapsed = solve_timer.seconds();
+        const double remaining =
+            options.totalTimeoutSeconds - elapsed;
+        if (remaining <= 0)
+            break;
+        model->boundCostAtMost(best - 1);
+
+        sat::Budget budget;
+        budget.maxSeconds =
+            std::min(options.stepTimeoutSeconds, remaining);
+        const sat::SolveStatus status = solver->solve({}, budget);
+        ++result.satCalls;
+
+        if (status == sat::SolveStatus::Sat) {
+            const enc::FermionEncoding candidate = model->decode();
+            const std::size_t cost = model->costOf(candidate);
+            require(cost < best, "SAT model violated cost bound: ",
+                    cost, " >= ", best);
+            result.encoding = candidate;
+            result.cost = cost;
+            best = cost;
+            result.trajectory.emplace_back(cost,
+                                           total_timer.seconds());
+        } else if (status == sat::SolveStatus::Unsat) {
+            result.provedOptimal = true;
+            break;
+        } else {
+            break; // budget expired without an answer
+        }
+    }
+    if (best == 0)
+        result.provedOptimal = true;
+    result.solveSeconds = solve_timer.seconds();
+    lastResult = result;
+    return result;
+}
+
+std::vector<enc::FermionEncoding>
+DescentSolver::enumerateOptimal(std::size_t count,
+                                double timeout_seconds)
+{
+    require(lastResult.has_value(),
+            "enumerateOptimal requires a prior solve()");
+    std::vector<enc::FermionEncoding> encodings;
+    if (lastResult->cost == 0 || !model)
+        return encodings;
+
+    // Relax the bound back to the optimum (the descent left a bound
+    // of best - 1 asserted, so re-solve at exactly `cost` using the
+    // assumption-free model with a fresh solver would be costly;
+    // instead rebuild once at the optimal bound).
+    Timer timer;
+    solver = std::make_unique<sat::Solver>();
+    EncodingModelOptions model_options;
+    model_options.modes = modes;
+    model_options.algebraicIndependence =
+        options.algebraicIndependence;
+    model_options.vacuumPreservation = options.vacuumPreservation;
+    model_options.hamiltonianStructure = structure;
+    model_options.costCap =
+        std::max<std::size_t>(lastResult->cost, 1);
+    model = std::make_unique<EncodingModel>(*solver, model_options);
+    model->boundCostAtMost(lastResult->cost);
+    if (options.warmStart)
+        model->warmStart(lastResult->encoding);
+
+    while (encodings.size() < count) {
+        const double remaining = timeout_seconds - timer.seconds();
+        if (remaining <= 0)
+            break;
+        sat::Budget budget;
+        budget.maxSeconds = remaining;
+        if (solver->solve({}, budget) != sat::SolveStatus::Sat)
+            break;
+        encodings.push_back(model->decode());
+        model->blockCurrentSolution();
+    }
+    return encodings;
+}
+
+} // namespace fermihedral::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Algorithm 1: descend on the Pauli-weight bound with a SAT solver.
+ *
+ * The solver starts from the Bravyi-Kitaev cost (the paper's w0),
+ * warm-starts the CDCL phases at the BK solution, and repeatedly
+ * asks for an encoding strictly cheaper than the best found so far,
+ * tightening the totalizer bound by one unit clause per round. The
+ * loop ends with a proof of optimality (UNSAT) or when the per-step
+ * or total budget expires (the paper's timeout termination).
+ *
+ * Three configurations correspond to the paper's experiments:
+ *  - Full SAT: all constraints, Ham.-independent or -dependent cost;
+ *  - SAT w/o Alg.: algebraicIndependence = false (Sec. 4.1);
+ *  - SAT + Anl.: Ham.-independent solve here, then the annealing
+ *    pairing of Algorithm 2 (annealing.h).
+ */
+
+#ifndef FERMIHEDRAL_CORE_DESCENT_SOLVER_H
+#define FERMIHEDRAL_CORE_DESCENT_SOLVER_H
+
+#include <optional>
+#include <vector>
+
+#include "core/encoding_model.h"
+#include "encodings/encoding.h"
+#include "fermion/operators.h"
+
+namespace fermihedral::core {
+
+/** Options for one descent run. */
+struct DescentOptions
+{
+    /** Keep the power-set algebraic independence clauses. */
+    bool algebraicIndependence = true;
+
+    /** Keep the vacuum X/Y-pairing clauses. */
+    bool vacuumPreservation = true;
+
+    /** Initialise solver phases from the baseline encoding. */
+    bool warmStart = true;
+
+    /** Wall-clock budget for each individual SAT call (seconds). */
+    double stepTimeoutSeconds = 30.0;
+
+    /** Wall-clock budget for the whole descent (seconds). */
+    double totalTimeoutSeconds = 300.0;
+
+    /** Override the initial bound (default: Bravyi-Kitaev cost). */
+    std::optional<std::size_t> initialBound;
+
+    /**
+     * Extra starting candidate (e.g.\ a SAT+Anl. solution for the
+     * Hamiltonian-dependent search). Used as warm start and initial
+     * bound when it satisfies the active constraints and costs less
+     * than the baseline.
+     */
+    std::optional<enc::FermionEncoding> seedEncoding;
+};
+
+/** Result of a descent run. */
+struct DescentResult
+{
+    /** Best encoding found (the baseline when SAT never improved). */
+    enc::FermionEncoding encoding;
+
+    /** Cost of `encoding` under the run's objective. */
+    std::size_t cost = 0;
+
+    /** Cost of the Bravyi-Kitaev baseline for reference. */
+    std::size_t baselineCost = 0;
+
+    /** The final decrement was refuted: `cost` is proved optimal. */
+    bool provedOptimal = false;
+
+    /** Number of SAT solve() calls made. */
+    std::size_t satCalls = 0;
+
+    /** Wall-clock split between building and solving the model. */
+    double constructSeconds = 0.0;
+    double solveSeconds = 0.0;
+
+    /** Variable/clause counts of the constructed instance. */
+    std::size_t numVars = 0;
+    std::size_t numClauses = 0;
+
+    /** (cost, elapsed seconds) after each improving model. */
+    std::vector<std::pair<std::size_t, double>> trajectory;
+};
+
+/** Searches optimal encodings for one mode count. */
+class DescentSolver
+{
+  public:
+    /** Hamiltonian-independent objective (Sec. 3.6). */
+    DescentSolver(std::size_t modes, const DescentOptions &options);
+
+    /** Hamiltonian-dependent objective (Sec. 3.7). */
+    DescentSolver(const fermion::FermionHamiltonian &hamiltonian,
+                  const DescentOptions &options);
+
+    /** Run Algorithm 1. */
+    DescentResult solve();
+
+    /**
+     * After solve(), enumerate up to `count` further distinct
+     * encodings at cost <= the best found (used for Figure 4's
+     * sampling of optimal encodings). Returns fewer when the space
+     * is exhausted or the budget expires.
+     */
+    std::vector<enc::FermionEncoding> enumerateOptimal(
+        std::size_t count, double timeout_seconds);
+
+  private:
+    std::size_t modes;
+    DescentOptions options;
+    std::vector<fermion::WeightedSubset> structure;
+
+    std::unique_ptr<sat::Solver> solver;
+    std::unique_ptr<EncodingModel> model;
+    std::optional<DescentResult> lastResult;
+
+    std::size_t baselineCost(const enc::FermionEncoding &bk) const;
+};
+
+} // namespace fermihedral::core
+
+#endif // FERMIHEDRAL_CORE_DESCENT_SOLVER_H

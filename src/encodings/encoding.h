@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Fermion-to-qubit encoding value type, the Hamiltonian mapper,
+ * and the exact validator for the paper's four constraints
+ * (Section 3.1).
+ */
+
+#ifndef FERMIHEDRAL_ENCODINGS_ENCODING_H
+#define FERMIHEDRAL_ENCODINGS_ENCODING_H
+
+#include <string>
+#include <vector>
+
+#include "fermion/operators.h"
+#include "pauli/pauli_string.h"
+#include "pauli/pauli_sum.h"
+
+namespace fermihedral::enc {
+
+/**
+ * A Fermion-to-qubit encoding: 2N phase-carrying Pauli strings for
+ * the Majorana operators of N modes, with the pairing convention
+ *
+ *   a_j      = (majoranas[2j] + i majoranas[2j+1]) / 2
+ *   a^dag_j  = (majoranas[2j] - i majoranas[2j+1]) / 2
+ */
+struct FermionEncoding
+{
+    std::size_t modes = 0;
+    std::vector<pauli::PauliString> majoranas;
+
+    /** Number of qubits the Majorana strings act on. */
+    std::size_t numQubits() const
+    {
+        return majoranas.empty() ? 0 : majoranas[0].numQubits();
+    }
+
+    /** Sum of the Pauli weights of all 2N Majorana strings. */
+    std::size_t totalWeight() const;
+
+    /** totalWeight() / (2N): the per-operator metric of Figs. 6/7. */
+    double weightPerOperator() const;
+};
+
+/**
+ * Pauli string of the ordered product of the Majorana operators
+ * selected by `mask` (ascending index order, phases tracked).
+ */
+pauli::PauliString majoranaProduct(const FermionEncoding &encoding,
+                                   std::uint64_t mask);
+
+/**
+ * Encode a Fermionic Hamiltonian into a qubit PauliSum through the
+ * given encoding. The result is simplified; for a valid encoding of
+ * a Hermitian Hamiltonian all coefficients are real.
+ */
+pauli::PauliSum mapToQubits(
+    const fermion::FermionHamiltonian &hamiltonian,
+    const FermionEncoding &encoding);
+
+/**
+ * The Hamiltonian-dependent total Pauli weight of an encoding:
+ * Eq. 14's sum of the weights of every expanded Majorana product.
+ * This is the metric reported in Tables 4 and 5 and the annealing
+ * energy of Algorithm 2.
+ */
+std::size_t hamiltonianPauliWeight(
+    const fermion::FermionHamiltonian &hamiltonian,
+    const FermionEncoding &encoding);
+
+/** Outcome of validateEncoding. */
+struct EncodingValidation
+{
+    /** Every pair of distinct Majorana strings anticommutes. */
+    bool anticommutativity = false;
+    /** No subset of strings multiplies to the identity (GF(2)). */
+    bool algebraicIndependence = false;
+    /** a_j |0...0> = 0 exactly, for every mode j. */
+    bool vacuumPreserving = false;
+    /** The paper's relaxed Sec. 3.5 check: an X/Y pair exists. */
+    bool xyPairing = false;
+    /** First failure found, for diagnostics. */
+    std::string detail;
+
+    /** All of the mandatory constraints hold. */
+    bool
+    valid() const
+    {
+        return anticommutativity && algebraicIndependence;
+    }
+};
+
+/** Exactly check the Section 3.1 constraints on an encoding. */
+EncodingValidation validateEncoding(const FermionEncoding &encoding);
+
+} // namespace fermihedral::enc
+
+#endif // FERMIHEDRAL_ENCODINGS_ENCODING_H

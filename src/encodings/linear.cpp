@@ -1,0 +1,120 @@
+#include "encodings/linear.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace fermihedral::enc {
+
+namespace {
+
+/** Support of the GF(2) row vector (rows [0, limit) of inv) summed. */
+std::uint64_t
+prefixRowSupport(const BitMatrix &inv, std::size_t limit)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t q = 0; q < inv.cols(); ++q) {
+        std::size_t parity = 0;
+        for (std::size_t i = 0; i < limit; ++i)
+            parity ^= inv.get(i, q) ? 1u : 0u;
+        if (parity)
+            mask |= std::uint64_t{1} << q;
+    }
+    return mask;
+}
+
+/** Support of column j of A as a bit mask. */
+std::uint64_t
+columnSupport(const BitMatrix &a, std::size_t j)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        if (a.get(r, j))
+            mask |= std::uint64_t{1} << r;
+    }
+    return mask;
+}
+
+/**
+ * Build a Majorana string from its x/z supports, with the global
+ * phase chosen so the string equals the target operator exactly.
+ * A bare (phase-0) string acts on a basis state with an extra
+ * factor i^{|Sx & Sz|}; the target carries i^{target_i_power}.
+ */
+pauli::PauliString
+majoranaString(std::size_t qubits, std::uint64_t x_mask,
+               std::uint64_t z_mask, int target_i_power)
+{
+    const int y_count = std::popcount(x_mask & z_mask);
+    return pauli::PauliString::fromMasks(
+        qubits, x_mask, z_mask, target_i_power - y_count);
+}
+
+} // namespace
+
+FermionEncoding
+linearEncoding(const BitMatrix &a)
+{
+    const std::size_t n = a.rows();
+    require(n >= 1 && n <= 64, "linearEncoding supports 1..64 modes");
+    require(a.cols() == n, "linearEncoding needs a square matrix");
+    const auto inverse = a.inverse();
+    require(inverse.has_value(),
+            "linearEncoding matrix is singular over GF(2)");
+
+    FermionEncoding encoding;
+    encoding.modes = n;
+    encoding.majoranas.reserve(2 * n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::uint64_t flips = columnSupport(a, j);
+        const std::uint64_t z_even = prefixRowSupport(*inverse, j);
+        const std::uint64_t z_odd = prefixRowSupport(*inverse, j + 1);
+        // gamma[2j] = (-1)^{<z_even, x>} * flip: no i factor.
+        encoding.majoranas.push_back(
+            majoranaString(n, flips, z_even, 0));
+        // gamma[2j+1] = i * (-1)^{<z_odd, x>} * flip.
+        encoding.majoranas.push_back(
+            majoranaString(n, flips, z_odd, 1));
+    }
+    return encoding;
+}
+
+FermionEncoding
+jordanWigner(std::size_t modes)
+{
+    return linearEncoding(BitMatrix::identity(modes));
+}
+
+BitMatrix
+fenwickMatrix(std::size_t modes)
+{
+    // Row q covers the binary-indexed-tree interval
+    // [q + 1 - lowbit(q + 1), q] (0-indexed modes).
+    BitMatrix a(modes, modes);
+    for (std::size_t q = 0; q < modes; ++q) {
+        const std::size_t one_based = q + 1;
+        const std::size_t lowbit = one_based & (~one_based + 1);
+        for (std::size_t i = one_based - lowbit; i <= q; ++i)
+            a.set(q, i, true);
+    }
+    return a;
+}
+
+FermionEncoding
+bravyiKitaev(std::size_t modes)
+{
+    return linearEncoding(fenwickMatrix(modes));
+}
+
+FermionEncoding
+parity(std::size_t modes)
+{
+    BitMatrix a(modes, modes);
+    for (std::size_t q = 0; q < modes; ++q) {
+        for (std::size_t i = 0; i <= q; ++i)
+            a.set(q, i, true);
+    }
+    return linearEncoding(a);
+}
+
+} // namespace fermihedral::enc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Linear Fermion-to-qubit encodings and the standard baselines.
+ *
+ * Jordan-Wigner, Bravyi-Kitaev and Parity are all "linear"
+ * encodings: the qubit basis state stores x = A n (mod 2) for an
+ * invertible GF(2) matrix A applied to the occupation vector n.
+ * Given A, the Majorana strings follow mechanically:
+ *
+ *   gamma[2j]   flips the qubits in column j of A and applies the
+ *               Jordan-Wigner sign (-1)^{n_0 + ... + n_{j-1}}, whose
+ *               qubit-side support is row vector [0..j) * A^{-1};
+ *   gamma[2j+1] is the same with the prefix extended through j.
+ *
+ * The global phase is fixed so the string equals the Majorana
+ * operator exactly (not only up to sign), which the Fock-space
+ * cross-check tests rely on.
+ *
+ *   - Jordan-Wigner:  A = I
+ *   - Parity:         A = lower-triangular all-ones (prefix sums)
+ *   - Bravyi-Kitaev:  A = the Fenwick-tree (binary indexed tree)
+ *                     partial-sum matrix, giving the O(log N)
+ *                     operator weight of the paper's baseline.
+ */
+
+#ifndef FERMIHEDRAL_ENCODINGS_LINEAR_H
+#define FERMIHEDRAL_ENCODINGS_LINEAR_H
+
+#include "common/gf2.h"
+#include "encodings/encoding.h"
+
+namespace fermihedral::enc {
+
+/**
+ * Build the encoding defined by qubit state = A * occupation.
+ *
+ * @param a Invertible N x N GF(2) matrix.
+ */
+FermionEncoding linearEncoding(const BitMatrix &a);
+
+/** The Jordan-Wigner transformation (paper baseline [17]). */
+FermionEncoding jordanWigner(std::size_t modes);
+
+/** The Bravyi-Kitaev transformation (paper baseline [4]). */
+FermionEncoding bravyiKitaev(std::size_t modes);
+
+/** The parity transformation (related work [3]). */
+FermionEncoding parity(std::size_t modes);
+
+/** The Fenwick-tree matrix used by bravyiKitaev(). */
+BitMatrix fenwickMatrix(std::size_t modes);
+
+} // namespace fermihedral::enc
+
+#endif // FERMIHEDRAL_ENCODINGS_LINEAR_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ternary-tree Fermion-to-qubit encoding (Jiang et al., Quantum 4,
+ * 276 (2020)) — the other asymptotically optimal baseline cited by
+ * the paper (related work [15, 22]).
+ *
+ * The N qubits form a balanced ternary tree; each root-to-leaf path
+ * yields a Pauli string by picking X, Y or Z at every internal node
+ * according to the branch taken. The 2N+1 path strings pairwise
+ * anticommute and are algebraically independent; dropping one leaves
+ * 2N Majorana operators with O(log3 N) weight each.
+ */
+
+#ifndef FERMIHEDRAL_ENCODINGS_TERNARY_TREE_H
+#define FERMIHEDRAL_ENCODINGS_TERNARY_TREE_H
+
+#include "encodings/encoding.h"
+
+namespace fermihedral::enc {
+
+/**
+ * The balanced ternary-tree encoding on `modes` modes.
+ *
+ * The dropped path is the all-Z spine, and the remaining strings are
+ * paired consecutively. The pairing does not generally map the Fock
+ * vacuum to |0...0>; validateEncoding() reports this, and the
+ * encoding is used for weight comparisons only.
+ */
+FermionEncoding ternaryTree(std::size_t modes);
+
+} // namespace fermihedral::enc
+
+#endif // FERMIHEDRAL_ENCODINGS_TERNARY_TREE_H

@@ -1,0 +1,90 @@
+#include "fermion/fock.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace fermihedral::fermion {
+
+namespace {
+
+/** Parity of the occupations below `mode`: the Jordan-Wigner sign. */
+double
+prefixSign(std::uint64_t bits, std::uint32_t mode)
+{
+    const std::uint64_t below = bits &
+        ((std::uint64_t{1} << mode) - 1);
+    return (std::popcount(below) % 2 == 0) ? 1.0 : -1.0;
+}
+
+} // namespace
+
+std::optional<FockImage>
+applyFermionOps(std::span<const FermionOp> ops, std::uint64_t bits)
+{
+    // ops[0] is the leftmost factor, so it acts last.
+    double sign = 1.0;
+    for (std::size_t i = ops.size(); i-- > 0;) {
+        const FermionOp &op = ops[i];
+        const std::uint64_t mask = std::uint64_t{1} << op.mode;
+        const bool occupied = bits & mask;
+        if (op.creation == occupied)
+            return std::nullopt; // a|0> = 0 or a^dag|1> = 0
+        sign *= prefixSign(bits, op.mode);
+        bits ^= mask;
+    }
+    return FockImage{bits, sign};
+}
+
+MajoranaImage
+applyMajoranaOps(std::span<const std::uint32_t> indices,
+                 std::uint64_t bits)
+{
+    std::complex<double> amplitude(1.0, 0.0);
+    for (std::size_t i = indices.size(); i-- > 0;) {
+        const std::uint32_t index = indices[i];
+        const std::uint32_t mode = index / 2;
+        const std::uint64_t mask = std::uint64_t{1} << mode;
+        const bool occupied = bits & mask;
+        const double jw = prefixSign(bits, mode);
+        if (index % 2 == 0) {
+            // gamma[2j] = a_j + a^dag_j: flips with the JW sign.
+            amplitude *= jw;
+        } else {
+            // gamma[2j+1] = i (a^dag_j - a_j):
+            //   on |0>: +i * jw, on |1>: -i * jw.
+            amplitude *= std::complex<double>(
+                0.0, occupied ? -jw : jw);
+        }
+        bits ^= mask;
+    }
+    return MajoranaImage{bits, amplitude};
+}
+
+std::vector<std::complex<double>>
+fockMatrix(const FermionHamiltonian &hamiltonian)
+{
+    const std::size_t modes = hamiltonian.modes();
+    require(modes <= 14, "fockMatrix limited to 14 modes (dense)");
+    const std::size_t dim = std::size_t{1} << modes;
+    std::vector<std::complex<double>> matrix(dim * dim,
+                                             {0.0, 0.0});
+
+    for (std::uint64_t col = 0; col < dim; ++col) {
+        for (const FermionTerm &term : hamiltonian.fermionTerms()) {
+            const auto image = applyFermionOps(term.ops, col);
+            if (image) {
+                matrix[image->bits * dim + col] +=
+                    term.coefficient * image->sign;
+            }
+        }
+        for (const MajoranaTerm &term : hamiltonian.majoranaTerms()) {
+            const auto image = applyMajoranaOps(term.indices, col);
+            matrix[image.bits * dim + col] +=
+                term.coefficient * image.amplitude;
+        }
+    }
+    return matrix;
+}
+
+} // namespace fermihedral::fermion

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Exact Fock-space representation of Fermionic Hamiltonians.
+ *
+ * Builds the dense 2^N x 2^N matrix of a FermionHamiltonian on the
+ * occupation-number basis |n_{N-1} ... n_0> with the standard sign
+ * convention a^dag_j |...0_j...> = (-1)^{sum_{i<j} n_i} |...1_j...>.
+ *
+ * This is the encoding-independent ground truth: any valid
+ * Fermion-to-qubit encoding must map the Hamiltonian to a qubit
+ * operator with exactly this spectrum, which the integration tests
+ * verify.
+ */
+
+#ifndef FERMIHEDRAL_FERMION_FOCK_H
+#define FERMIHEDRAL_FERMION_FOCK_H
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fermion/operators.h"
+
+namespace fermihedral::fermion {
+
+/** Image of a basis state under an operator product (or zero). */
+struct FockImage
+{
+    std::uint64_t bits;
+    double sign;
+};
+
+/**
+ * Apply a product of creation/annihilation operators to the Fock
+ * basis state |bits>. Returns std::nullopt when the result is zero
+ * (e.g.\ annihilating an empty mode).
+ */
+std::optional<FockImage>
+applyFermionOps(std::span<const FermionOp> ops, std::uint64_t bits);
+
+/**
+ * Apply a product of Majorana operators to |bits>.
+ * Majorana images are never zero; the amplitude is i^k * sign,
+ * returned as a complex factor.
+ */
+struct MajoranaImage
+{
+    std::uint64_t bits;
+    std::complex<double> amplitude;
+};
+
+MajoranaImage
+applyMajoranaOps(std::span<const std::uint32_t> indices,
+                 std::uint64_t bits);
+
+/**
+ * Dense matrix of the Hamiltonian on the 2^modes Fock basis,
+ * row-major: element (row, col) at index row * dim + col, where
+ * column is the input state.
+ */
+std::vector<std::complex<double>>
+fockMatrix(const FermionHamiltonian &hamiltonian);
+
+} // namespace fermihedral::fermion
+
+#endif // FERMIHEDRAL_FERMION_FOCK_H

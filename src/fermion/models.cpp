@@ -1,0 +1,249 @@
+#include "fermion/models.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fermihedral::fermion {
+
+namespace {
+
+/** Spin-orbital index for (orbital, spin). */
+std::uint32_t
+spinOrbital(std::size_t orbital, std::size_t spin)
+{
+    return static_cast<std::uint32_t>(2 * orbital + spin);
+}
+
+} // namespace
+
+ElectronicIntegrals::ElectronicIntegrals(std::size_t orbitals)
+    : numOrbitals(orbitals),
+      one(orbitals * orbitals, 0.0),
+      two(orbitals * orbitals * orbitals * orbitals, 0.0)
+{
+    require(orbitals >= 1 && orbitals <= 16,
+            "ElectronicIntegrals supports 1..16 orbitals");
+}
+
+double &
+ElectronicIntegrals::h1(std::size_t p, std::size_t q)
+{
+    return one[p * numOrbitals + q];
+}
+
+double
+ElectronicIntegrals::h1(std::size_t p, std::size_t q) const
+{
+    return one[p * numOrbitals + q];
+}
+
+double &
+ElectronicIntegrals::h2(std::size_t p, std::size_t q, std::size_t r,
+                        std::size_t s)
+{
+    const std::size_t n = numOrbitals;
+    return two[((p * n + q) * n + r) * n + s];
+}
+
+double
+ElectronicIntegrals::h2(std::size_t p, std::size_t q, std::size_t r,
+                        std::size_t s) const
+{
+    const std::size_t n = numOrbitals;
+    return two[((p * n + q) * n + r) * n + s];
+}
+
+FermionHamiltonian
+ElectronicIntegrals::toHamiltonian(double epsilon) const
+{
+    FermionHamiltonian hamiltonian(2 * numOrbitals);
+
+    // One-body part: sum_pq h_pq a^dag_{p s} a_{q s}.
+    for (std::size_t p = 0; p < numOrbitals; ++p) {
+        for (std::size_t q = 0; q < numOrbitals; ++q) {
+            if (std::abs(h1(p, q)) <= epsilon)
+                continue;
+            for (std::size_t spin = 0; spin < 2; ++spin) {
+                hamiltonian.addFermionTerm(
+                    h1(p, q),
+                    {create(spinOrbital(p, spin)),
+                     annihilate(spinOrbital(q, spin))});
+            }
+        }
+    }
+
+    // Two-body part (chemist notation):
+    //   1/2 (pq|rs) a^dag_{p s1} a^dag_{r s2} a_{s s2} a_{q s1}.
+    for (std::size_t p = 0; p < numOrbitals; ++p) {
+        for (std::size_t q = 0; q < numOrbitals; ++q) {
+            for (std::size_t r = 0; r < numOrbitals; ++r) {
+                for (std::size_t s = 0; s < numOrbitals; ++s) {
+                    const double g = h2(p, q, r, s);
+                    if (std::abs(g) <= epsilon)
+                        continue;
+                    for (std::size_t s1 = 0; s1 < 2; ++s1) {
+                        for (std::size_t s2 = 0; s2 < 2; ++s2) {
+                            const auto i = spinOrbital(p, s1);
+                            const auto j = spinOrbital(r, s2);
+                            const auto k = spinOrbital(s, s2);
+                            const auto l = spinOrbital(q, s1);
+                            if (i == j || k == l)
+                                continue; // Pauli exclusion
+                            hamiltonian.addFermionTerm(
+                                0.5 * g,
+                                {create(i), create(j),
+                                 annihilate(k), annihilate(l)});
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return hamiltonian;
+}
+
+ElectronicIntegrals
+h2Sto3gIntegrals()
+{
+    // Whitfield, Biamonte & Aspuru-Guzik (2011), H2/STO-3G at
+    // R = 0.7414 A. Orbital 0 = bonding (g), orbital 1 =
+    // antibonding (u); all values in Hartree.
+    ElectronicIntegrals integrals(2);
+    integrals.h1(0, 0) = -1.252477;
+    integrals.h1(1, 1) = -0.475934;
+    integrals.h2(0, 0, 0, 0) = 0.674493; // (00|00)
+    integrals.h2(1, 1, 1, 1) = 0.697397; // (11|11)
+    // Coulomb (00|11) = (11|00).
+    integrals.h2(0, 0, 1, 1) = 0.663472;
+    integrals.h2(1, 1, 0, 0) = 0.663472;
+    // Exchange (01|01) with full 8-fold symmetry.
+    integrals.h2(0, 1, 0, 1) = 0.181287;
+    integrals.h2(0, 1, 1, 0) = 0.181287;
+    integrals.h2(1, 0, 0, 1) = 0.181287;
+    integrals.h2(1, 0, 1, 0) = 0.181287;
+    return integrals;
+}
+
+double
+h2Sto3gNuclearRepulsion()
+{
+    return 0.713754;
+}
+
+FermionHamiltonian
+syntheticElectronicStructure(std::size_t modes, Rng &rng)
+{
+    require(modes % 2 == 0,
+            "electronic structure needs an even mode count");
+    const std::size_t orbitals = modes / 2;
+    ElectronicIntegrals integrals(orbitals);
+    for (std::size_t p = 0; p < orbitals; ++p) {
+        for (std::size_t q = p; q < orbitals; ++q) {
+            const double value = rng.nextDouble(-1.0, 1.0);
+            integrals.h1(p, q) = value;
+            integrals.h1(q, p) = value;
+        }
+    }
+    // Dense two-electron tensor with the real-orbital 8-fold
+    // symmetry: (pq|rs) = (qp|rs) = (pq|sr) = (rs|pq) = ...
+    for (std::size_t p = 0; p < orbitals; ++p) {
+        for (std::size_t q = 0; q <= p; ++q) {
+            for (std::size_t r = 0; r <= p; ++r) {
+                for (std::size_t s = 0; s <= r; ++s) {
+                    if (p == r && s > q)
+                        continue;
+                    const double value = rng.nextDouble(-0.5, 0.5);
+                    const std::size_t idx[8][4] = {
+                        {p, q, r, s}, {q, p, r, s}, {p, q, s, r},
+                        {q, p, s, r}, {r, s, p, q}, {s, r, p, q},
+                        {r, s, q, p}, {s, r, q, p},
+                    };
+                    for (const auto &ix : idx) {
+                        integrals.h2(ix[0], ix[1], ix[2], ix[3]) =
+                            value;
+                    }
+                }
+            }
+        }
+    }
+    return integrals.toHamiltonian();
+}
+
+FermionHamiltonian
+fermiHubbard(
+    std::size_t sites,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges,
+    double t, double u)
+{
+    FermionHamiltonian hamiltonian(2 * sites);
+    for (const auto &[a, b] : edges) {
+        require(a < sites && b < sites && a != b,
+                "invalid Hubbard edge (", a, ", ", b, ")");
+        for (std::uint32_t spin = 0; spin < 2; ++spin) {
+            const auto i = spinOrbital(a, spin);
+            const auto j = spinOrbital(b, spin);
+            hamiltonian.addFermionTerm(-t,
+                                       {create(i), annihilate(j)});
+            hamiltonian.addFermionTerm(-t,
+                                       {create(j), annihilate(i)});
+        }
+    }
+    for (std::uint32_t site = 0; site < sites; ++site) {
+        const auto up = spinOrbital(site, 0);
+        const auto down = spinOrbital(site, 1);
+        hamiltonian.addFermionTerm(
+            u, {create(up), annihilate(up), create(down),
+                annihilate(down)});
+    }
+    return hamiltonian;
+}
+
+FermionHamiltonian
+fermiHubbard1D(std::size_t sites, double t, double u)
+{
+    require(sites >= 2, "fermiHubbard1D needs at least 2 sites");
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t s = 0; s < sites; ++s) {
+        const auto next = static_cast<std::uint32_t>((s + 1) % sites);
+        // A 2-site ring would duplicate the single edge; skip the
+        // wrap-around duplicate.
+        if (sites == 2 && s == 1)
+            break;
+        edges.emplace_back(s, next);
+    }
+    return fermiHubbard(sites, edges, t, u);
+}
+
+FermionHamiltonian
+fermiHubbard2x2(double t, double u)
+{
+    // Sites laid out 0 1 / 2 3; periodic wrap-around edges coincide
+    // with the direct ones on a 2x2 torus, so each pair appears once.
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges =
+        {{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+    return fermiHubbard(4, edges, t, u);
+}
+
+FermionHamiltonian
+sykModel(std::size_t modes, Rng &rng, double j)
+{
+    FermionHamiltonian hamiltonian(modes);
+    const std::size_t m = 2 * modes;
+    const double variance = 6.0 * j * j /
+                            (static_cast<double>(m) * m * m);
+    const double sigma = std::sqrt(variance);
+    for (std::uint32_t a = 0; a < m; ++a) {
+        for (std::uint32_t b = a + 1; b < m; ++b) {
+            for (std::uint32_t c = b + 1; c < m; ++c) {
+                for (std::uint32_t d = c + 1; d < m; ++d) {
+                    const double g = sigma * rng.nextGaussian();
+                    hamiltonian.addMajoranaTerm(g, {a, b, c, d});
+                }
+            }
+        }
+    }
+    return hamiltonian;
+}
+
+} // namespace fermihedral::fermion

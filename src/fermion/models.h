@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The three benchmark Hamiltonian families of the paper (Figure 5):
+ * molecular electronic structure, the Fermi-Hubbard model with
+ * periodic boundary conditions, and the four-body SYK model.
+ */
+
+#ifndef FERMIHEDRAL_FERMION_MODELS_H
+#define FERMIHEDRAL_FERMION_MODELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fermion/operators.h"
+
+namespace fermihedral::fermion {
+
+/**
+ * Molecular electronic structure Hamiltonian from spatial-orbital
+ * integrals (chemist notation):
+ *
+ *   H = sum_pq h_pq sum_s  a^dag_{p s} a_{q s}
+ *     + 1/2 sum_pqrs (pq|rs) sum_{s,t} a^dag_{p s} a^dag_{r t}
+ *                                      a_{s t} a_{q s}
+ *
+ * where in the last product the annihilators are a_{s,t} (orbital s,
+ * spin t) and a_{q,s} (orbital q, spin s).
+ * Spin-orbital ordering: mode(p, spin) = 2 p + spin.
+ */
+class ElectronicIntegrals
+{
+  public:
+    /** Zeroed integrals for `orbitals` spatial orbitals. */
+    explicit ElectronicIntegrals(std::size_t orbitals);
+
+    std::size_t orbitals() const { return numOrbitals; }
+
+    /** One-electron integral h_pq (symmetric). */
+    double &h1(std::size_t p, std::size_t q);
+    double h1(std::size_t p, std::size_t q) const;
+
+    /** Two-electron integral (pq|rs), chemist notation. */
+    double &h2(std::size_t p, std::size_t q, std::size_t r,
+               std::size_t s);
+    double h2(std::size_t p, std::size_t q, std::size_t r,
+              std::size_t s) const;
+
+    /** Assemble the spin-orbital FermionHamiltonian (2x orbitals). */
+    FermionHamiltonian toHamiltonian(double epsilon = 1e-12) const;
+
+  private:
+    std::size_t numOrbitals;
+    std::vector<double> one;
+    std::vector<double> two;
+};
+
+/**
+ * The H2 molecule in the STO-3G basis at the equilibrium bond
+ * length 0.7414 Angstrom, using the published integrals
+ * (Whitfield, Biamonte & Aspuru-Guzik 2011). Four spin orbitals.
+ */
+ElectronicIntegrals h2Sto3gIntegrals();
+
+/** Nuclear repulsion energy matching h2Sto3gIntegrals(), Hartree. */
+double h2Sto3gNuclearRepulsion();
+
+/**
+ * Synthetic dense electronic-structure integrals for scaling
+ * studies: random symmetric h_pq and 8-fold-symmetric (pq|rs),
+ * deterministic in the seed. `modes` must be even (2 per orbital).
+ */
+FermionHamiltonian syntheticElectronicStructure(std::size_t modes,
+                                                Rng &rng);
+
+/**
+ * Fermi-Hubbard model on an explicit edge list:
+ *
+ *   H = -t sum_{(i,j) in edges, s} (a^dag_{i s} a_{j s} + h.c.)
+ *     + U sum_i n_{i up} n_{i down}
+ *
+ * Site/spin ordering: mode(site, spin) = 2 site + spin.
+ */
+FermionHamiltonian fermiHubbard(
+    std::size_t sites,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges,
+    double t, double u);
+
+/** 1-D Fermi-Hubbard ring (periodic boundary), N = 2 * sites. */
+FermionHamiltonian fermiHubbard1D(std::size_t sites, double t,
+                                  double u);
+
+/** 2x2 Fermi-Hubbard square lattice (periodic), 8 modes. */
+FermionHamiltonian fermiHubbard2x2(double t, double u);
+
+/**
+ * Four-body SYK model over the 2N Majorana operators of `modes`
+ * modes: H = sum_{i<j<k<l} g_ijkl gamma_i gamma_j gamma_k gamma_l
+ * with Gaussian couplings of variance 3! J^2 / (2N)^3.
+ */
+FermionHamiltonian sykModel(std::size_t modes, Rng &rng,
+                            double j = 1.0);
+
+} // namespace fermihedral::fermion
+
+#endif // FERMIHEDRAL_FERMION_MODELS_H

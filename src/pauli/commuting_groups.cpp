@@ -1,0 +1,56 @@
+#include "pauli/commuting_groups.h"
+
+#include "common/logging.h"
+
+namespace fermihedral::pauli {
+
+bool
+qubitWiseCommute(const PauliString &a, const PauliString &b)
+{
+    require(a.numQubits() == b.numQubits(),
+            "qubitWiseCommute width mismatch");
+    // At every position the operators must be equal or one of them
+    // identity. In symplectic form: on the shared support both bit
+    // masks must agree.
+    const std::uint64_t support_a = a.xMask() | a.zMask();
+    const std::uint64_t support_b = b.xMask() | b.zMask();
+    const std::uint64_t shared = support_a & support_b;
+    return ((a.xMask() ^ b.xMask()) & shared) == 0 &&
+           ((a.zMask() ^ b.zMask()) & shared) == 0;
+}
+
+std::vector<CommutingGroup>
+groupQubitWiseCommuting(const PauliSum &sum)
+{
+    std::vector<CommutingGroup> groups;
+    const auto &terms = sum.terms();
+    for (std::size_t index = 0; index < terms.size(); ++index) {
+        const PauliString &string = terms[index].string;
+        if (string.isIdentity())
+            continue;
+        bool placed = false;
+        for (auto &group : groups) {
+            if (qubitWiseCommute(group.basis, string)) {
+                group.termIndices.push_back(index);
+                // Extend the shared basis over this term's support.
+                group.basis = PauliString::fromMasks(
+                    string.numQubits(),
+                    group.basis.xMask() | string.xMask(),
+                    group.basis.zMask() | string.zMask());
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            CommutingGroup group;
+            group.termIndices.push_back(index);
+            group.basis = PauliString::fromMasks(
+                string.numQubits(), string.xMask(),
+                string.zMask());
+            groups.push_back(std::move(group));
+        }
+    }
+    return groups;
+}
+
+} // namespace fermihedral::pauli

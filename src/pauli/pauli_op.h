@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Single-qubit Pauli operators and their multiplication table.
+ *
+ * Operators are represented in symplectic form: an (x, z) bit pair
+ * with I=(0,0), X=(1,0), Y=(1,1), Z=(0,1). Multiplication xors the
+ * bit pairs; the accumulated power of i is looked up in a 16-entry
+ * table derived from the 2x2 matrices.
+ */
+
+#ifndef FERMIHEDRAL_PAULI_PAULI_OP_H
+#define FERMIHEDRAL_PAULI_PAULI_OP_H
+
+#include <array>
+#include <cstdint>
+
+namespace fermihedral::pauli {
+
+/** The four single-qubit Pauli operators. */
+enum class PauliOp : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** x bit of the symplectic representation (set for X and Y). */
+constexpr bool
+xBit(PauliOp op)
+{
+    return op == PauliOp::X || op == PauliOp::Y;
+}
+
+/** z bit of the symplectic representation (set for Z and Y). */
+constexpr bool
+zBit(PauliOp op)
+{
+    return op == PauliOp::Z || op == PauliOp::Y;
+}
+
+/** Reassemble an operator from its symplectic bits. */
+constexpr PauliOp
+fromBits(bool x, bool z)
+{
+    if (x && z)
+        return PauliOp::Y;
+    if (x)
+        return PauliOp::X;
+    if (z)
+        return PauliOp::Z;
+    return PauliOp::I;
+}
+
+/** Single-character label: I, X, Y or Z. */
+constexpr char
+opChar(PauliOp op)
+{
+    constexpr char chars[4] = {'I', 'X', 'Y', 'Z'};
+    return chars[static_cast<int>(op)];
+}
+
+/**
+ * Power of i produced by the product op1*op2, indexed by
+ * (x1, z1, x2, z2). E.g.\ X*Y = i^1 Z, Y*X = i^3 Z.
+ */
+constexpr std::array<std::uint8_t, 16> productPhaseTable = {
+    //            (x1 z1 x2 z2)
+    0, // 0000  I*I
+    0, // 0001  I*Z
+    0, // 0010  I*X
+    0, // 0011  I*Y
+    0, // 0100  Z*I
+    0, // 0101  Z*Z
+    1, // 0110  Z*X = iY
+    3, // 0111  Z*Y = -iX
+    0, // 1000  X*I
+    3, // 1001  X*Z = -iY
+    0, // 1010  X*X
+    1, // 1011  X*Y = iZ
+    0, // 1100  Y*I
+    1, // 1101  Y*Z = iX
+    3, // 1110  Y*X = -iZ
+    0, // 1111  Y*Y
+};
+
+/** Power of i such that op1*op2 = i^k (op1 xor op2). */
+constexpr std::uint8_t
+productPhase(PauliOp op1, PauliOp op2)
+{
+    const int index = (xBit(op1) << 3) | (zBit(op1) << 2) |
+                      (xBit(op2) << 1) | static_cast<int>(zBit(op2));
+    return productPhaseTable[static_cast<std::size_t>(index)];
+}
+
+/** True when the two operators anticommute (both non-I, different). */
+constexpr bool
+anticommutes(PauliOp op1, PauliOp op2)
+{
+    if (op1 == PauliOp::I || op2 == PauliOp::I)
+        return false;
+    return op1 != op2;
+}
+
+} // namespace fermihedral::pauli
+
+#endif // FERMIHEDRAL_PAULI_PAULI_OP_H

@@ -1,0 +1,235 @@
+#include "pauli/pauli_string.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace fermihedral::pauli {
+
+namespace {
+
+/** i^k for k in 0..3. */
+std::complex<double>
+iPower(int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: return {1.0, 0.0};
+      case 1: return {0.0, 1.0};
+      case 2: return {-1.0, 0.0};
+      default: return {0.0, -1.0};
+    }
+}
+
+} // namespace
+
+std::complex<double>
+BasisImage::amplitude() const
+{
+    return iPower(phaseExp);
+}
+
+PauliString::PauliString(std::size_t num_qubits)
+{
+    require(num_qubits <= maxQubits,
+            "PauliString supports at most ", maxQubits, " qubits");
+    n = static_cast<std::uint8_t>(num_qubits);
+}
+
+PauliString
+PauliString::fromLabel(std::string_view label)
+{
+    int phase_exp = 0;
+    std::size_t pos = 0;
+    while (pos < label.size() &&
+           (label[pos] == '-' || label[pos] == '+' ||
+            label[pos] == 'i')) {
+        if (label[pos] == '-')
+            phase_exp += 2;
+        else if (label[pos] == 'i')
+            phase_exp += 1;
+        ++pos;
+    }
+    const std::string_view ops = label.substr(pos);
+    PauliString result(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        // Leftmost char is the highest qubit.
+        const std::size_t qubit = ops.size() - 1 - i;
+        switch (ops[i]) {
+          case 'I': break;
+          case 'X': result.setOp(qubit, PauliOp::X); break;
+          case 'Y': result.setOp(qubit, PauliOp::Y); break;
+          case 'Z': result.setOp(qubit, PauliOp::Z); break;
+          default:
+            fatal("invalid Pauli label character '", ops[i], "' in '",
+                  label, "'");
+        }
+    }
+    result.phase = static_cast<std::uint8_t>(((phase_exp % 4) + 4) % 4);
+    return result;
+}
+
+PauliString
+PauliString::fromMasks(std::size_t num_qubits, std::uint64_t x_mask,
+                       std::uint64_t z_mask, int phase_exp)
+{
+    PauliString result(num_qubits);
+    const std::uint64_t valid =
+        num_qubits == 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << num_qubits) - 1);
+    require((x_mask & ~valid) == 0 && (z_mask & ~valid) == 0,
+            "PauliString::fromMasks: mask wider than qubit count");
+    result.x = x_mask;
+    result.z = z_mask;
+    result.phase =
+        static_cast<std::uint8_t>(((phase_exp % 4) + 4) % 4);
+    return result;
+}
+
+void
+PauliString::checkQubit(std::size_t q) const
+{
+    require(q < n, "qubit index ", q, " out of range for ", int{n},
+            "-qubit Pauli string");
+}
+
+PauliOp
+PauliString::op(std::size_t q) const
+{
+    checkQubit(q);
+    return fromBits((x >> q) & 1, (z >> q) & 1);
+}
+
+void
+PauliString::setOp(std::size_t q, PauliOp op)
+{
+    checkQubit(q);
+    const std::uint64_t mask = std::uint64_t{1} << q;
+    x = (x & ~mask) | (xBit(op) ? mask : 0);
+    z = (z & ~mask) | (zBit(op) ? mask : 0);
+}
+
+std::complex<double>
+PauliString::phaseFactor() const
+{
+    return iPower(phase);
+}
+
+PauliString
+PauliString::withPhase(int delta) const
+{
+    PauliString result = *this;
+    result.phase = static_cast<std::uint8_t>(
+        ((phase + delta) % 4 + 4) % 4);
+    return result;
+}
+
+std::size_t
+PauliString::weight() const
+{
+    return static_cast<std::size_t>(std::popcount(x | z));
+}
+
+bool
+PauliString::isIdentity() const
+{
+    return (x | z) == 0;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    return !anticommutesWith(other);
+}
+
+bool
+PauliString::anticommutesWith(const PauliString &other) const
+{
+    require(n == other.n, "Pauli string width mismatch");
+    // Symplectic inner product: parity of the number of positions
+    // where the single-qubit operators anticommute.
+    const int parity = std::popcount(x & other.z) +
+                       std::popcount(z & other.x);
+    return parity % 2 == 1;
+}
+
+PauliString
+PauliString::operator*(const PauliString &other) const
+{
+    require(n == other.n, "Pauli string width mismatch");
+    int phase_exp = phase + other.phase;
+    std::uint64_t remaining = (x | z | other.x | other.z);
+    while (remaining) {
+        const int q = std::countr_zero(remaining);
+        remaining &= remaining - 1;
+        phase_exp += productPhase(op(q), other.op(q));
+    }
+    return fromMasks(n, x ^ other.x, z ^ other.z, phase_exp);
+}
+
+PauliString
+PauliString::adjoint() const
+{
+    // The tensor part is Hermitian; conjugating i^k negates k.
+    return fromMasks(n, x, z, -static_cast<int>(phase));
+}
+
+BasisImage
+PauliString::applyToBasis(std::uint64_t bits) const
+{
+    // X/Y flip bits; Z/Y contribute (-1)^bit; each Y adds a factor i.
+    int phase_exp = phase;
+    phase_exp += 2 * std::popcount(z & bits);
+    phase_exp += std::popcount(x & z);
+    return BasisImage{bits ^ x, ((phase_exp % 4) + 4) % 4};
+}
+
+bool
+PauliString::bareEquals(const PauliString &other) const
+{
+    return n == other.n && x == other.x && z == other.z;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    if (n != other.n)
+        return n < other.n;
+    if (x != other.x)
+        return x < other.x;
+    if (z != other.z)
+        return z < other.z;
+    return phase < other.phase;
+}
+
+std::string
+PauliString::label() const
+{
+    static const char *prefixes[4] = {"", "i", "-", "-i"};
+    std::string result = prefixes[phase];
+    for (std::size_t i = 0; i < n; ++i)
+        result += opChar(op(n - 1 - i));
+    return result;
+}
+
+std::size_t
+PauliString::hashValue() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(x);
+    mix(z);
+    mix(phase);
+    return static_cast<std::size_t>(h);
+}
+
+std::size_t
+productWeight(const PauliString &a, const PauliString &b)
+{
+    return static_cast<std::size_t>(
+        std::popcount((a.xMask() ^ b.xMask()) |
+                      (a.zMask() ^ b.zMask())));
+}
+
+} // namespace fermihedral::pauli

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Phase-tracked Pauli strings over up to 64 qubits.
+ *
+ * A PauliString is i^phase times a tensor product of single-qubit
+ * Pauli operators, stored in symplectic form as packed x/z bit masks.
+ * Qubit 0 is the least-significant bit; the printed label follows the
+ * paper's convention P = sigma_N (x) ... (x) sigma_1, i.e.\ the
+ * leftmost character is the highest qubit.
+ */
+
+#ifndef FERMIHEDRAL_PAULI_PAULI_STRING_H
+#define FERMIHEDRAL_PAULI_PAULI_STRING_H
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "pauli/pauli_op.h"
+
+namespace fermihedral::pauli {
+
+/** Result of applying a Pauli string to a computational basis state. */
+struct BasisImage
+{
+    /** Output basis state (bit q = qubit q). */
+    std::uint64_t bits;
+    /** Power of i multiplying the output state. */
+    int phaseExp;
+
+    /** The complex amplitude i^phaseExp. */
+    std::complex<double> amplitude() const;
+};
+
+/**
+ * An N-qubit Pauli string with a global i^k phase.
+ *
+ * Value type: cheap to copy (three words). Equality includes the
+ * phase; bareEquals() compares only the tensor part.
+ */
+class PauliString
+{
+  public:
+    /** Maximum supported width. */
+    static constexpr std::size_t maxQubits = 64;
+
+    /** Zero-qubit identity. */
+    PauliString() = default;
+
+    /** Identity string on num_qubits qubits. */
+    explicit PauliString(std::size_t num_qubits);
+
+    /**
+     * Parse a label such as "XYZI", "-XX" or "iYZ".
+     * The leftmost operator character is the highest qubit. An
+     * optional prefix of '-' and/or 'i' sets the global phase.
+     */
+    static PauliString fromLabel(std::string_view label);
+
+    /** Build from symplectic masks and a phase exponent. */
+    static PauliString fromMasks(std::size_t num_qubits,
+                                 std::uint64_t x_mask,
+                                 std::uint64_t z_mask,
+                                 int phase_exp = 0);
+
+    std::size_t numQubits() const { return n; }
+
+    /** Operator acting on qubit q. */
+    PauliOp op(std::size_t q) const;
+
+    /** Replace the operator acting on qubit q. */
+    void setOp(std::size_t q, PauliOp op);
+
+    /** x bit mask (bit q set when op(q) is X or Y). */
+    std::uint64_t xMask() const { return x; }
+
+    /** z bit mask (bit q set when op(q) is Z or Y). */
+    std::uint64_t zMask() const { return z; }
+
+    /** Global phase exponent k in i^k, normalised to 0..3. */
+    int phaseExp() const { return phase; }
+
+    /** The complex number i^phaseExp(). */
+    std::complex<double> phaseFactor() const;
+
+    /** Return a copy with phase multiplied by i^delta. */
+    PauliString withPhase(int delta) const;
+
+    /** Number of non-identity operators (the Pauli weight). */
+    std::size_t weight() const;
+
+    /** True when every operator is I (phase may be any). */
+    bool isIdentity() const;
+
+    /** True when this string commutes with other. */
+    bool commutesWith(const PauliString &other) const;
+
+    /** True when this string anticommutes with other. */
+    bool anticommutesWith(const PauliString &other) const;
+
+    /** Full product including the tracked phase. */
+    PauliString operator*(const PauliString &other) const;
+
+    /** Hermitian conjugate (conjugates the phase). */
+    PauliString adjoint() const;
+
+    /**
+     * Apply to the computational basis state |bits>.
+     * P |bits> = i^k |image.bits> with k = image.phaseExp.
+     */
+    BasisImage applyToBasis(std::uint64_t bits) const;
+
+    /** Equality including phase. */
+    bool operator==(const PauliString &other) const = default;
+
+    /** Equality of the tensor part only (phase ignored). */
+    bool bareEquals(const PauliString &other) const;
+
+    /** Total order (by width, then masks, then phase). */
+    bool operator<(const PauliString &other) const;
+
+    /** Printable label with phase prefix, highest qubit first. */
+    std::string label() const;
+
+    /** Hash over width, masks and phase. */
+    std::size_t hashValue() const;
+
+  private:
+    std::uint64_t x = 0;
+    std::uint64_t z = 0;
+    std::uint8_t n = 0;
+    std::uint8_t phase = 0;
+
+    void checkQubit(std::size_t q) const;
+};
+
+/**
+ * Pauli weight of the (phaseless) product of two strings,
+ * without constructing the product. Used heavily by annealing.
+ */
+std::size_t productWeight(const PauliString &a, const PauliString &b);
+
+} // namespace fermihedral::pauli
+
+template <>
+struct std::hash<fermihedral::pauli::PauliString>
+{
+    std::size_t
+    operator()(const fermihedral::pauli::PauliString &p) const
+    {
+        return p.hashValue();
+    }
+};
+
+#endif // FERMIHEDRAL_PAULI_PAULI_STRING_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DIMACS CNF export/import.
+ *
+ * Lets the generated encoding instances run on external solvers
+ * (Kissat, CaDiCaL) for cross-checking, and lets regression CNFs be
+ * loaded back into this solver. The Solver itself does not retain
+ * removed duplicate/tautology clauses, so export works through a
+ * recording proxy.
+ */
+
+#ifndef FERMIHEDRAL_SAT_DIMACS_H
+#define FERMIHEDRAL_SAT_DIMACS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace fermihedral::sat {
+
+/** A plain CNF: clause list over 1-based DIMACS variables. */
+struct Cnf
+{
+    std::size_t numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+
+    /** Append a clause (variables are created on demand). */
+    void addClause(std::span<const Lit> literals);
+
+    /** Load every clause into a solver; returns false on conflict. */
+    bool loadInto(Solver &solver) const;
+};
+
+/** Render a CNF in DIMACS format. */
+std::string toDimacs(const Cnf &cnf);
+
+/**
+ * Parse DIMACS text (comments and the problem line are accepted and
+ * validated loosely). Throws FatalError on malformed input.
+ */
+Cnf parseDimacs(const std::string &text);
+
+/**
+ * Snapshot of a recording solver's clause stream as a Cnf (see
+ * Solver::enableRecording). The variable count is the solver's.
+ */
+Cnf snapshotCnf(const Solver &solver);
+
+} // namespace fermihedral::sat
+
+#endif // FERMIHEDRAL_SAT_DIMACS_H

@@ -1,0 +1,164 @@
+#include "sat/formula.h"
+
+#include "common/logging.h"
+
+namespace fermihedral::sat {
+
+Formula::Formula(Solver &solver) : sat(solver)
+{
+}
+
+Lit
+Formula::newLit()
+{
+    return mkLit(sat.newVar());
+}
+
+Lit
+Formula::trueLit()
+{
+    if (constTrue == litUndef) {
+        constTrue = newLit();
+        sat.addUnit(constTrue);
+    }
+    return constTrue;
+}
+
+Lit
+Formula::falseLit()
+{
+    return ~trueLit();
+}
+
+void
+Formula::assertTrue(Lit lit)
+{
+    sat.addUnit(lit);
+}
+
+void
+Formula::assertFalse(Lit lit)
+{
+    sat.addUnit(~lit);
+}
+
+void
+Formula::addClause(std::span<const Lit> literals)
+{
+    sat.addClause(literals);
+}
+
+void
+Formula::addClause(std::initializer_list<Lit> literals)
+{
+    sat.addClause(literals);
+}
+
+Lit
+Formula::mkAnd(std::span<const Lit> inputs)
+{
+    if (inputs.empty())
+        return trueLit();
+    if (inputs.size() == 1)
+        return inputs[0];
+    const Lit y = newLit();
+    // y -> each input.
+    for (const Lit input : inputs)
+        sat.addBinary(~y, input);
+    // all inputs -> y.
+    std::vector<Lit> clause;
+    clause.reserve(inputs.size() + 1);
+    for (const Lit input : inputs)
+        clause.push_back(~input);
+    clause.push_back(y);
+    sat.addClause(clause);
+    return y;
+}
+
+Lit
+Formula::mkAnd(std::initializer_list<Lit> inputs)
+{
+    return mkAnd(std::span<const Lit>(inputs.begin(), inputs.size()));
+}
+
+Lit
+Formula::mkOr(std::span<const Lit> inputs)
+{
+    if (inputs.empty())
+        return falseLit();
+    if (inputs.size() == 1)
+        return inputs[0];
+    const Lit y = newLit();
+    // each input -> y.
+    for (const Lit input : inputs)
+        sat.addBinary(~input, y);
+    // y -> some input.
+    std::vector<Lit> clause;
+    clause.reserve(inputs.size() + 1);
+    for (const Lit input : inputs)
+        clause.push_back(input);
+    clause.push_back(~y);
+    sat.addClause(clause);
+    return y;
+}
+
+Lit
+Formula::mkOr(std::initializer_list<Lit> inputs)
+{
+    return mkOr(std::span<const Lit>(inputs.begin(), inputs.size()));
+}
+
+Lit
+Formula::mkXor(Lit a, Lit b)
+{
+    const Lit y = newLit();
+    sat.addTernary(~y, a, b);
+    sat.addTernary(~y, ~a, ~b);
+    sat.addTernary(y, ~a, b);
+    sat.addTernary(y, a, ~b);
+    return y;
+}
+
+Lit
+Formula::mkXorChain(std::span<const Lit> inputs)
+{
+    if (inputs.empty())
+        return falseLit();
+    Lit acc = inputs[0];
+    for (std::size_t i = 1; i < inputs.size(); ++i)
+        acc = mkXor(acc, inputs[i]);
+    return acc;
+}
+
+void
+Formula::assertXorEquals(std::span<const Lit> inputs, bool parity)
+{
+    if (inputs.empty()) {
+        require(!parity, "assertXorEquals: empty xor cannot be true");
+        return;
+    }
+    if (inputs.size() == 1) {
+        if (parity)
+            assertTrue(inputs[0]);
+        else
+            assertFalse(inputs[0]);
+        return;
+    }
+    // Fold all but the last two inputs into an accumulator, then
+    // assert the final binary xor directly with four (two) clauses.
+    Lit acc = inputs[0];
+    for (std::size_t i = 1; i + 1 < inputs.size(); ++i)
+        acc = mkXor(acc, inputs[i]);
+    const Lit last = inputs[inputs.size() - 1];
+    if (parity) {
+        // acc xor last = 1  <=>  acc != last.
+        sat.addBinary(acc, last);
+        sat.addBinary(~acc, ~last);
+    } else {
+        // acc xor last = 0  <=>  acc == last.
+        sat.addBinary(~acc, last);
+        sat.addBinary(acc, ~last);
+    }
+}
+
+} // namespace fermihedral::sat

@@ -1,0 +1,743 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fermihedral::sat {
+
+Solver::Solver()
+{
+    arena.reserve(1 << 16);
+}
+
+// --------------------------------------------------------------------
+// Clause arena
+// --------------------------------------------------------------------
+
+float
+Solver::clauseActivity(ClauseRef ref) const
+{
+    return std::bit_cast<float>(arena[ref + 1]);
+}
+
+void
+Solver::clauseActivity(ClauseRef ref, float value)
+{
+    arena[ref + 1] = std::bit_cast<std::uint32_t>(value);
+}
+
+void
+Solver::clauseShrink(ClauseRef ref, std::uint32_t new_size)
+{
+    require(new_size <= clauseSize(ref), "clauseShrink grows clause");
+    arena[ref] = (new_size << 1) | (arena[ref] & 1);
+}
+
+Solver::ClauseRef
+Solver::allocClause(std::span<const Lit> literals, bool learnt)
+{
+    const auto ref = static_cast<ClauseRef>(arena.size());
+    arena.push_back((static_cast<std::uint32_t>(literals.size()) << 1)
+                    | (learnt ? 1u : 0u));
+    arena.push_back(std::bit_cast<std::uint32_t>(0.0f));
+    arena.push_back(0);
+    for (const Lit lit : literals)
+        arena.push_back(static_cast<std::uint32_t>(lit.code));
+    return ref;
+}
+
+// --------------------------------------------------------------------
+// Watches
+// --------------------------------------------------------------------
+
+void
+Solver::attachClause(ClauseRef ref)
+{
+    const Lit *lits = clauseLits(ref);
+    require(clauseSize(ref) >= 2, "attaching clause of size < 2");
+    watches[(~lits[0]).code].push_back(Watcher{ref, lits[1]});
+    watches[(~lits[1]).code].push_back(Watcher{ref, lits[0]});
+}
+
+void
+Solver::detachClause(ClauseRef ref)
+{
+    const Lit *lits = clauseLits(ref);
+    for (int w = 0; w < 2; ++w) {
+        auto &list = watches[(~lits[w]).code];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i].cref == ref) {
+                list[i] = list.back();
+                list.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Variables / assignments
+// --------------------------------------------------------------------
+
+Var
+Solver::newVar()
+{
+    const Var var = static_cast<Var>(assigns.size());
+    assigns.push_back(LBool::Undef);
+    varLevel.push_back(0);
+    varReason.push_back(crefUndef);
+    activity.push_back(0.0);
+    polarity.push_back(1); // default: branch negative, like MiniSat
+    seen.push_back(0);
+    heapIndex.push_back(-1);
+    watches.emplace_back();
+    watches.emplace_back();
+    heapInsert(var);
+    return var;
+}
+
+void
+Solver::uncheckedEnqueue(Lit lit, ClauseRef reason)
+{
+    const Var var = litVar(lit);
+    require(assigns[var] == LBool::Undef,
+            "enqueue of an already assigned variable");
+    assigns[var] = litSign(lit) ? LBool::False : LBool::True;
+    varLevel[var] = decisionLevel();
+    varReason[var] = reason;
+    trail.push_back(lit);
+}
+
+void
+Solver::cancelUntil(std::uint32_t level)
+{
+    if (decisionLevel() <= level)
+        return;
+    const std::uint32_t keep = trailLim[level];
+    for (std::size_t i = trail.size(); i-- > keep;) {
+        const Lit lit = trail[i];
+        const Var var = litVar(lit);
+        assigns[var] = LBool::Undef;
+        polarity[var] = litSign(lit); // phase saving
+        varReason[var] = crefUndef;
+        if (!heapContains(var))
+            heapInsert(var);
+    }
+    trail.resize(keep);
+    trailLim.resize(level);
+    qhead = trail.size();
+}
+
+// --------------------------------------------------------------------
+// Propagation
+// --------------------------------------------------------------------
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    ClauseRef conflict = crefUndef;
+    while (qhead < trail.size()) {
+        // Clauses watching literal L are registered under ~L, so
+        // the clauses to inspect when p became true live at p.code.
+        const Lit p = trail[qhead++];
+        ++statistics.propagations;
+        auto &ws = watches[p.code];
+        std::size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            const Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            const ClauseRef cref = w.cref;
+            Lit *lits = clauseLits(cref);
+            const std::uint32_t size = clauseSize(cref);
+            const Lit false_lit = ~p;
+            if (lits[0] == false_lit)
+                std::swap(lits[0], lits[1]);
+            ++i;
+
+            const Lit first = lits[0];
+            const Watcher updated{cref, first};
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = updated;
+                continue;
+            }
+
+            bool found_watch = false;
+            for (std::uint32_t k = 2; k < size; ++k) {
+                if (value(lits[k]) != LBool::False) {
+                    lits[1] = lits[k];
+                    lits[k] = false_lit;
+                    watches[(~lits[1]).code].push_back(updated);
+                    found_watch = true;
+                    break;
+                }
+            }
+            if (found_watch)
+                continue;
+
+            // Clause is unit or conflicting under the current trail.
+            ws[j++] = updated;
+            if (value(first) == LBool::False) {
+                conflict = cref;
+                qhead = trail.size();
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+            } else {
+                uncheckedEnqueue(first, cref);
+            }
+        }
+        ws.resize(j);
+        if (conflict != crefUndef)
+            break;
+    }
+    return conflict;
+}
+
+// --------------------------------------------------------------------
+// Decision heuristic (indexed binary max-heap over activity)
+// --------------------------------------------------------------------
+
+void
+Solver::heapPercolateUp(std::int32_t i)
+{
+    const Var var = heap[i];
+    while (i > 0) {
+        const std::int32_t parent = (i - 1) >> 1;
+        if (!heapLess(var, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        heapIndex[heap[i]] = i;
+        i = parent;
+    }
+    heap[i] = var;
+    heapIndex[var] = i;
+}
+
+void
+Solver::heapPercolateDown(std::int32_t i)
+{
+    const Var var = heap[i];
+    const auto size = static_cast<std::int32_t>(heap.size());
+    for (;;) {
+        std::int32_t child = 2 * i + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && heapLess(heap[child + 1], heap[child]))
+            ++child;
+        if (!heapLess(heap[child], var))
+            break;
+        heap[i] = heap[child];
+        heapIndex[heap[i]] = i;
+        i = child;
+    }
+    heap[i] = var;
+    heapIndex[var] = i;
+}
+
+void
+Solver::heapInsert(Var var)
+{
+    heap.push_back(var);
+    heapIndex[var] = static_cast<std::int32_t>(heap.size()) - 1;
+    heapPercolateUp(heapIndex[var]);
+}
+
+Var
+Solver::heapRemoveMax()
+{
+    const Var top = heap[0];
+    heap[0] = heap.back();
+    heapIndex[heap[0]] = 0;
+    heapIndex[top] = -1;
+    heap.pop_back();
+    if (!heap.empty())
+        heapPercolateDown(0);
+    return top;
+}
+
+void
+Solver::varBumpActivity(Var var)
+{
+    activity[var] += varInc;
+    if (activity[var] > 1e100) {
+        for (auto &act : activity)
+            act *= 1e-100;
+        varInc *= 1e-100;
+    }
+    if (heapContains(var))
+        heapPercolateUp(heapIndex[var]);
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        const Var var = heapRemoveMax();
+        if (assigns[var] == LBool::Undef)
+            return mkLit(var, polarity[var]);
+    }
+    return litUndef;
+}
+
+// --------------------------------------------------------------------
+// Conflict analysis
+// --------------------------------------------------------------------
+
+std::uint32_t
+Solver::computeLbd(std::span<const Lit> literals)
+{
+    // Number of distinct decision levels in the clause ("glue").
+    static thread_local std::vector<std::uint32_t> mark;
+    static thread_local std::uint32_t stamp = 0;
+    if (mark.size() < varLevel.size() + 1)
+        mark.resize(varLevel.size() + 1, 0);
+    ++stamp;
+    std::uint32_t lbd = 0;
+    for (const Lit lit : literals) {
+        const std::uint32_t lvl = varLevel[litVar(lit)];
+        if (mark[lvl] != stamp) {
+            mark[lvl] = stamp;
+            ++lbd;
+        }
+    }
+    return lbd;
+}
+
+void
+Solver::analyze(ClauseRef conflict, std::vector<Lit> &out_learnt,
+                std::uint32_t &out_btlevel, std::uint32_t &out_lbd)
+{
+    out_learnt.clear();
+    out_learnt.push_back(litUndef); // slot for the asserting literal
+
+    Lit p = litUndef;
+    int path_count = 0;
+    std::size_t index = trail.size() - 1;
+    ClauseRef cref = conflict;
+
+    do {
+        require(cref != crefUndef, "analyze reached a decision");
+        if (clauseLearnt(cref))
+            claBumpActivity(cref);
+        const Lit *lits = clauseLits(cref);
+        const std::uint32_t size = clauseSize(cref);
+        for (std::uint32_t k = (p == litUndef) ? 0 : 1; k < size;
+             ++k) {
+            const Lit q = lits[k];
+            const Var v = litVar(q);
+            if (!seen[v] && varLevel[v] > 0) {
+                varBumpActivity(v);
+                seen[v] = 1;
+                if (varLevel[v] >= decisionLevel())
+                    ++path_count;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        // Find the next marked literal on the trail.
+        while (!seen[litVar(trail[index])])
+            --index;
+        p = trail[index];
+        --index;
+        cref = varReason[litVar(p)];
+        seen[litVar(p)] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest.
+    analyzeToClear = out_learnt;
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i)
+        abstract_levels |=
+            1u << (varLevel[litVar(out_learnt[i])] & 31);
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+        const Lit lit = out_learnt[i];
+        if (varReason[litVar(lit)] == crefUndef ||
+            !litRedundant(lit, abstract_levels)) {
+            out_learnt[keep++] = lit;
+        }
+    }
+    statistics.learntLiterals += keep;
+    out_learnt.resize(keep);
+
+    // Backtrack level: highest level among the non-asserting lits.
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+            if (varLevel[litVar(out_learnt[i])] >
+                varLevel[litVar(out_learnt[max_i])]) {
+                max_i = i;
+            }
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = varLevel[litVar(out_learnt[1])];
+    }
+    out_lbd = computeLbd(out_learnt);
+
+    for (const Lit lit : analyzeToClear)
+        seen[litVar(lit)] = 0;
+    analyzeToClear.clear();
+}
+
+bool
+Solver::litRedundant(Lit lit, std::uint32_t abstract_levels)
+{
+    static thread_local std::vector<Lit> stack;
+    stack.clear();
+    stack.push_back(lit);
+    const std::size_t top = analyzeToClear.size();
+    while (!stack.empty()) {
+        const Lit q = stack.back();
+        stack.pop_back();
+        const ClauseRef cref = varReason[litVar(q)];
+        require(cref != crefUndef, "litRedundant on decision");
+        const Lit *lits = clauseLits(cref);
+        const std::uint32_t size = clauseSize(cref);
+        for (std::uint32_t k = 1; k < size; ++k) {
+            const Lit l = lits[k];
+            const Var v = litVar(l);
+            if (seen[v] || varLevel[v] == 0)
+                continue;
+            if (varReason[v] != crefUndef &&
+                ((1u << (varLevel[v] & 31)) & abstract_levels)) {
+                seen[v] = 1;
+                stack.push_back(l);
+                analyzeToClear.push_back(l);
+            } else {
+                for (std::size_t j = top; j < analyzeToClear.size();
+                     ++j) {
+                    seen[litVar(analyzeToClear[j])] = 0;
+                }
+                analyzeToClear.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Clause database
+// --------------------------------------------------------------------
+
+void
+Solver::claBumpActivity(ClauseRef ref)
+{
+    float act = clauseActivity(ref) + static_cast<float>(claInc);
+    if (act > 1e20f) {
+        for (const ClauseRef learnt : learntClauses)
+            clauseActivity(learnt, clauseActivity(learnt) * 1e-20f);
+        claInc *= 1e-20;
+        act = clauseActivity(ref) + static_cast<float>(claInc);
+    }
+    clauseActivity(ref, act);
+}
+
+bool
+Solver::clauseLocked(ClauseRef ref) const
+{
+    const Lit first = clauseLits(ref)[0];
+    return value(first) == LBool::True &&
+           varReason[litVar(first)] == ref;
+}
+
+void
+Solver::removeClause(ClauseRef ref)
+{
+    detachClause(ref);
+    wastedWords += clauseSize(ref) + 3;
+    ++statistics.removedClauses;
+}
+
+void
+Solver::reduceDb()
+{
+    // Keep low-LBD ("glue") and locked clauses; drop the less active
+    // half of the rest.
+    std::vector<ClauseRef> keep;
+    std::vector<ClauseRef> candidates;
+    keep.reserve(learntClauses.size());
+    for (const ClauseRef ref : learntClauses) {
+        if (clauseLbd(ref) <= 2 || clauseLocked(ref))
+            keep.push_back(ref);
+        else
+            candidates.push_back(ref);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                  if (clauseLbd(a) != clauseLbd(b))
+                      return clauseLbd(a) < clauseLbd(b);
+                  return clauseActivity(a) > clauseActivity(b);
+              });
+    const std::size_t retain = candidates.size() / 2;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (i < retain)
+            keep.push_back(candidates[i]);
+        else
+            removeClause(candidates[i]);
+    }
+    learntClauses = std::move(keep);
+}
+
+void
+Solver::garbageCollectIfNeeded()
+{
+    // The arena is append-only: removed clauses are detached and
+    // their words counted as waste, but not compacted. This keeps
+    // ClauseRefs stable across the incremental descent loop.
+}
+
+// --------------------------------------------------------------------
+// Clause addition
+// --------------------------------------------------------------------
+
+bool
+Solver::addClause(std::initializer_list<Lit> literals)
+{
+    return addClause(std::span<const Lit>(literals.begin(),
+                                          literals.size()));
+}
+
+bool
+Solver::addClause(std::span<const Lit> literals)
+{
+    require(decisionLevel() == 0,
+            "clauses may only be added at decision level 0");
+    if (recordClauses)
+        recorded.emplace_back(literals.begin(), literals.end());
+    if (!ok)
+        return false;
+
+    static thread_local std::vector<Lit> scratch;
+    scratch.assign(literals.begin(), literals.end());
+    std::sort(scratch.begin(), scratch.end());
+    Lit previous = litUndef;
+    std::size_t keep = 0;
+    for (const Lit lit : scratch) {
+        require(litVar(lit) >= 0 &&
+                    static_cast<std::size_t>(litVar(lit)) < numVars(),
+                "clause references unknown variable");
+        if (lit == previous)
+            continue; // duplicate literal
+        if (previous != litUndef && lit == ~previous)
+            return true; // tautology: x OR NOT x
+        if (value(lit) == LBool::True)
+            return true; // already satisfied at level 0
+        if (value(lit) == LBool::False)
+            continue; // falsified at level 0: drop literal
+        scratch[keep++] = lit;
+        previous = lit;
+    }
+    scratch.resize(keep);
+
+    if (scratch.empty()) {
+        ok = false;
+        return false;
+    }
+    if (scratch.size() == 1) {
+        uncheckedEnqueue(scratch[0], crefUndef);
+        if (propagate() != crefUndef)
+            ok = false;
+        return ok;
+    }
+    const ClauseRef ref = allocClause(scratch, false);
+    problemClauses.push_back(ref);
+    ++numProblemClauses;
+    attachClause(ref);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Search
+// --------------------------------------------------------------------
+
+std::uint64_t
+Solver::luby(std::uint64_t i)
+{
+    // Luby sequence 1,1,2,1,1,2,4,... (0-indexed), MiniSat style.
+    std::uint64_t size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i = i % size;
+    }
+    return std::uint64_t{1} << seq;
+}
+
+double
+Solver::now() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+Solver::budgetExpired(const Budget &budget, double start_time,
+                      std::uint64_t start_conflicts) const
+{
+    if (budget.maxConflicts >= 0 &&
+        statistics.conflicts - start_conflicts >=
+            static_cast<std::uint64_t>(budget.maxConflicts)) {
+        return true;
+    }
+    if (budget.maxSeconds > 0 &&
+        now() - start_time >= budget.maxSeconds) {
+        return true;
+    }
+    return false;
+}
+
+SolveStatus
+Solver::search(const Budget &budget, double start_time)
+{
+    const std::uint64_t start_conflicts = statistics.conflicts;
+    std::uint64_t restart_round = 0;
+    std::uint64_t conflicts_this_round = 0;
+    std::uint64_t restart_limit = 100 * luby(0);
+
+    for (;;) {
+        const ClauseRef conflict = propagate();
+        if (conflict != crefUndef) {
+            ++statistics.conflicts;
+            ++conflicts_this_round;
+            if (decisionLevel() == 0) {
+                ok = false;
+                return SolveStatus::Unsat;
+            }
+            std::uint32_t bt_level = 0, lbd = 0;
+            analyze(conflict, learntClause, bt_level, lbd);
+            cancelUntil(bt_level);
+            if (learntClause.size() == 1) {
+                uncheckedEnqueue(learntClause[0], crefUndef);
+            } else {
+                const ClauseRef ref = allocClause(learntClause, true);
+                clauseLbd(ref, lbd);
+                learntClauses.push_back(ref);
+                attachClause(ref);
+                claBumpActivity(ref);
+                uncheckedEnqueue(learntClause[0], ref);
+            }
+            varDecayActivity();
+            claDecayActivity();
+            if ((statistics.conflicts & 0x3ff) == 0 &&
+                budgetExpired(budget, start_time, start_conflicts)) {
+                cancelUntil(0);
+                return SolveStatus::Unknown;
+            }
+            continue;
+        }
+
+        // No conflict.
+        if (conflicts_this_round >= restart_limit) {
+            ++statistics.restarts;
+            ++restart_round;
+            conflicts_this_round = 0;
+            restart_limit = 100 * luby(restart_round);
+            cancelUntil(0);
+            continue;
+        }
+        if (budgetExpired(budget, start_time, start_conflicts)) {
+            cancelUntil(0);
+            return SolveStatus::Unknown;
+        }
+        if (learntClauses.size() >= maxLearnts) {
+            reduceDb();
+            maxLearnts =
+                static_cast<std::uint64_t>(maxLearnts * 1.2);
+        }
+
+        Lit next = litUndef;
+        while (decisionLevel() < assumptionList.size()) {
+            const Lit p = assumptionList[decisionLevel()];
+            if (value(p) == LBool::True) {
+                newDecisionLevel(); // dummy level for this assumption
+            } else if (value(p) == LBool::False) {
+                cancelUntil(0);
+                return SolveStatus::Unsat;
+            } else {
+                next = p;
+                break;
+            }
+        }
+        if (next == litUndef) {
+            next = pickBranchLit();
+            if (next == litUndef) {
+                // All variables assigned: model found.
+                model.assign(assigns.begin(), assigns.end());
+                cancelUntil(0);
+                return SolveStatus::Sat;
+            }
+            ++statistics.decisions;
+        }
+        newDecisionLevel();
+        uncheckedEnqueue(next, crefUndef);
+    }
+}
+
+SolveStatus
+Solver::solve(std::span<const Lit> assumptions, const Budget &budget)
+{
+    if (!ok)
+        return SolveStatus::Unsat;
+    assumptionList.assign(assumptions.begin(), assumptions.end());
+    cancelUntil(0);
+    if (propagate() != crefUndef) {
+        ok = false;
+        return SolveStatus::Unsat;
+    }
+    const double start_time = now();
+    const SolveStatus status = search(budget, start_time);
+    cancelUntil(0);
+    assumptionList.clear();
+    return status;
+}
+
+LBool
+Solver::modelValue(Var var) const
+{
+    if (static_cast<std::size_t>(var) >= model.size())
+        return LBool::Undef;
+    return model[var];
+}
+
+LBool
+Solver::modelValue(Lit lit) const
+{
+    const LBool v = modelValue(litVar(lit));
+    return litSign(lit) ? -v : v;
+}
+
+void
+Solver::setPolarity(Var var, bool value)
+{
+    require(static_cast<std::size_t>(var) < numVars(),
+            "setPolarity on unknown variable");
+    polarity[var] = value ? 0 : 1;
+}
+
+void
+Solver::boostActivity(Var var, double amount)
+{
+    require(static_cast<std::size_t>(var) < numVars(),
+            "boostActivity on unknown variable");
+    activity[var] += amount;
+    if (heapContains(var))
+        heapPercolateUp(heapIndex[var]);
+}
+
+} // namespace fermihedral::sat

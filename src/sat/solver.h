@@ -1,0 +1,291 @@
+/**
+ * @file
+ * A self-contained CDCL SAT solver.
+ *
+ * This replaces the Kissat/CaDiCaL dependency of the original
+ * Fermihedral artifact. The implementation follows the classic
+ * MiniSat architecture with the standard modern refinements:
+ *
+ *  - two-watched-literal propagation with blocker literals,
+ *  - first-UIP conflict analysis with clause minimization,
+ *  - EVSIDS decision heuristic with phase saving,
+ *  - Luby-sequence restarts,
+ *  - LBD ("glue") guided learnt-clause database reduction,
+ *  - incremental solving: clauses may be added between solve()
+ *    calls and assumptions are supported, which Algorithm 1's
+ *    descent loop uses to tighten the Pauli-weight bound by
+ *    asserting a single totalizer output literal per step,
+ *  - conflict/time budgets so descent steps can time out the same
+ *    way the paper's setup bounds each SAT call.
+ */
+
+#ifndef FERMIHEDRAL_SAT_SOLVER_H
+#define FERMIHEDRAL_SAT_SOLVER_H
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace fermihedral::sat {
+
+/** Outcome of a solve() call. */
+enum class SolveStatus { Sat, Unsat, Unknown };
+
+/** Resource limits for one solve() call. */
+struct Budget
+{
+    /** Maximum number of conflicts (no limit when negative). */
+    std::int64_t maxConflicts = -1;
+    /** Maximum wall-clock seconds (no limit when <= 0). */
+    double maxSeconds = -1.0;
+};
+
+/** Aggregate counters exposed for benchmarks and tests. */
+struct SolverStats
+{
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learntLiterals = 0;
+    std::uint64_t removedClauses = 0;
+};
+
+/**
+ * The CDCL solver. Create variables with newVar(), add clauses with
+ * addClause(), then call solve(). More clauses may be added after a
+ * solve; learnt clauses and heuristic state are kept.
+ */
+class Solver
+{
+  public:
+    Solver();
+    Solver(const Solver &) = delete;
+    Solver &operator=(const Solver &) = delete;
+
+    /** Create a fresh variable and return its index. */
+    Var newVar();
+
+    /** Number of created variables. */
+    std::size_t numVars() const { return assigns.size(); }
+
+    /** Number of problem (non-learnt) clauses added and retained. */
+    std::size_t numClauses() const { return numProblemClauses; }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false when
+     * the clause makes the formula trivially unsatisfiable.
+     * Must not be called while a solve() is in progress.
+     */
+    bool addClause(std::span<const Lit> literals);
+    bool addClause(std::initializer_list<Lit> literals);
+
+    /** Convenience for unit / binary / ternary clauses. */
+    bool addUnit(Lit a) { return addClause({a}); }
+    bool addBinary(Lit a, Lit b) { return addClause({a, b}); }
+    bool addTernary(Lit a, Lit b, Lit c)
+    {
+        return addClause({a, b, c});
+    }
+
+    /**
+     * Solve under the given assumptions and budget.
+     * Unknown means the budget expired first.
+     */
+    SolveStatus solve(std::span<const Lit> assumptions = {},
+                      const Budget &budget = {});
+
+    /** Value of a variable in the last satisfying model. */
+    LBool modelValue(Var var) const;
+
+    /** Value of a literal in the last satisfying model. */
+    LBool modelValue(Lit lit) const;
+
+    /**
+     * Set the initial saved phase of a variable (warm start). The
+     * solver will try this polarity first when branching.
+     */
+    void setPolarity(Var var, bool value);
+
+    /**
+     * Raise a variable's branching activity so it is decided before
+     * less active ones. Useful to prioritise semantic variables
+     * over Tseitin auxiliaries, which then follow by propagation.
+     */
+    void boostActivity(Var var, double amount);
+
+    /**
+     * Record every clause passed to addClause (verbatim, before
+     * simplification) for DIMACS export. Must be enabled before the
+     * first clause is added to capture the whole instance.
+     */
+    void enableRecording() { recordClauses = true; }
+
+    /** The recorded clause stream (empty unless enabled). */
+    const std::vector<std::vector<Lit>> &
+    recordedClauses() const
+    {
+        return recorded;
+    }
+
+    /** True once the clause set is known unsatisfiable at level 0. */
+    bool inconsistent() const { return !ok; }
+
+    const SolverStats &stats() const { return statistics; }
+
+  private:
+    // --- Clause storage -------------------------------------------------
+    /** Offset of a clause in the arena. */
+    using ClauseRef = std::uint32_t;
+    static constexpr ClauseRef crefUndef =
+        std::numeric_limits<ClauseRef>::max();
+
+    /**
+     * Arena layout per clause:
+     *   word 0: size << 1 | learnt
+     *   word 1: activity (float bits) for learnt, 0 otherwise
+     *   word 2: lbd for learnt, 0 otherwise
+     *   word 3..: literal codes
+     */
+    std::vector<std::uint32_t> arena;
+
+    std::uint32_t clauseSize(ClauseRef ref) const
+    {
+        return arena[ref] >> 1;
+    }
+    bool clauseLearnt(ClauseRef ref) const { return arena[ref] & 1; }
+    Lit *clauseLits(ClauseRef ref)
+    {
+        return reinterpret_cast<Lit *>(&arena[ref + 3]);
+    }
+    const Lit *clauseLits(ClauseRef ref) const
+    {
+        return reinterpret_cast<const Lit *>(&arena[ref + 3]);
+    }
+    float clauseActivity(ClauseRef ref) const;
+    void clauseActivity(ClauseRef ref, float value);
+    std::uint32_t clauseLbd(ClauseRef ref) const
+    {
+        return arena[ref + 2];
+    }
+    void clauseLbd(ClauseRef ref, std::uint32_t lbd)
+    {
+        arena[ref + 2] = lbd;
+    }
+    void clauseShrink(ClauseRef ref, std::uint32_t new_size);
+
+    ClauseRef allocClause(std::span<const Lit> literals, bool learnt);
+
+    // --- Watches --------------------------------------------------------
+    struct Watcher
+    {
+        ClauseRef cref;
+        Lit blocker;
+    };
+    /** watches[lit.code]: clauses to inspect when lit becomes false. */
+    std::vector<std::vector<Watcher>> watches;
+
+    void attachClause(ClauseRef ref);
+    void detachClause(ClauseRef ref);
+
+    // --- Assignment trail -----------------------------------------------
+    std::vector<LBool> assigns;
+    std::vector<std::uint32_t> varLevel;
+    std::vector<ClauseRef> varReason;
+    std::vector<Lit> trail;
+    std::vector<std::uint32_t> trailLim;
+    std::size_t qhead = 0;
+
+    LBool value(Var var) const { return assigns[var]; }
+    LBool value(Lit lit) const
+    {
+        const LBool v = assigns[litVar(lit)];
+        return litSign(lit) ? -v : v;
+    }
+    std::uint32_t decisionLevel() const
+    {
+        return static_cast<std::uint32_t>(trailLim.size());
+    }
+
+    void uncheckedEnqueue(Lit lit, ClauseRef reason);
+    ClauseRef propagate();
+    void cancelUntil(std::uint32_t level);
+    void newDecisionLevel()
+    {
+        trailLim.push_back(static_cast<std::uint32_t>(trail.size()));
+    }
+
+    // --- Decision heuristic ----------------------------------------------
+    std::vector<double> activity;
+    double varInc = 1.0;
+    static constexpr double varDecay = 0.95;
+    std::vector<char> polarity;
+    std::vector<char> seen;
+
+    /** Indexed max-heap over variable activity. */
+    std::vector<Var> heap;
+    std::vector<std::int32_t> heapIndex;
+    bool heapLess(Var a, Var b) const
+    {
+        return activity[a] > activity[b];
+    }
+    void heapPercolateUp(std::int32_t i);
+    void heapPercolateDown(std::int32_t i);
+    void heapInsert(Var var);
+    Var heapRemoveMax();
+    bool heapEmpty() const { return heap.empty(); }
+    bool heapContains(Var var) const
+    {
+        return heapIndex[var] >= 0;
+    }
+
+    void varBumpActivity(Var var);
+    void varDecayActivity() { varInc /= varDecay; }
+    Lit pickBranchLit();
+
+    // --- Conflict analysis -----------------------------------------------
+    std::vector<Lit> learntClause;
+    std::vector<Lit> analyzeToClear;
+    void analyze(ClauseRef conflict, std::vector<Lit> &out_learnt,
+                 std::uint32_t &out_btlevel, std::uint32_t &out_lbd);
+    bool litRedundant(Lit lit, std::uint32_t abstract_levels);
+    std::uint32_t computeLbd(std::span<const Lit> literals);
+
+    // --- Clause database management ---------------------------------------
+    std::vector<ClauseRef> problemClauses;
+    std::vector<ClauseRef> learntClauses;
+    std::size_t numProblemClauses = 0;
+    double claInc = 1.0;
+    static constexpr double claDecay = 0.999;
+    std::uint64_t maxLearnts = 8192;
+    std::uint64_t wastedWords = 0;
+
+    void claBumpActivity(ClauseRef ref);
+    void claDecayActivity() { claInc /= claDecay; }
+    void reduceDb();
+    bool clauseLocked(ClauseRef ref) const;
+    void removeClause(ClauseRef ref);
+    void garbageCollectIfNeeded();
+
+    // --- Search ------------------------------------------------------------
+    bool ok = true;
+    bool recordClauses = false;
+    std::vector<std::vector<Lit>> recorded;
+    std::vector<Lit> assumptionList;
+    std::vector<LBool> model;
+    SolverStats statistics;
+
+    SolveStatus search(const Budget &budget, double start_time);
+    static std::uint64_t luby(std::uint64_t i);
+    double now() const;
+
+    bool budgetExpired(const Budget &budget, double start_time,
+                       std::uint64_t start_conflicts) const;
+};
+
+} // namespace fermihedral::sat
+
+#endif // FERMIHEDRAL_SAT_SOLVER_H

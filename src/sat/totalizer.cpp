@@ -1,0 +1,78 @@
+#include "sat/totalizer.h"
+
+#include "common/logging.h"
+
+namespace fermihedral::sat {
+
+Totalizer::Totalizer(Solver &solver, std::span<const Lit> inputs,
+                     std::size_t cap)
+    : sat(solver), cap(cap), numInputs(inputs.size())
+{
+    require(!inputs.empty(), "Totalizer over zero inputs");
+    outputs = build(inputs);
+}
+
+std::vector<Lit>
+Totalizer::build(std::span<const Lit> inputs)
+{
+    if (inputs.size() == 1)
+        return {inputs[0]};
+    const std::size_t half = inputs.size() / 2;
+    const std::vector<Lit> left = build(inputs.subspan(0, half));
+    const std::vector<Lit> right = build(inputs.subspan(half));
+    return merge(left, right);
+}
+
+std::vector<Lit>
+Totalizer::merge(const std::vector<Lit> &left,
+                 const std::vector<Lit> &right)
+{
+    // The merged node represents min(|left|+|right|, cap+1) unary
+    // counter bits r_1..r_m with the "at least" semantics:
+    //   left >= i AND right >= j  ->  merged >= i+j  (saturating).
+    const std::size_t total = left.size() + right.size();
+    const std::size_t width = std::min(total, cap + 1);
+    std::vector<Lit> merged(width);
+    for (std::size_t k = 0; k < width; ++k)
+        merged[k] = mkLit(sat.newVar());
+
+    // Emitting the implications for all pairs with i + j <= width is
+    // sufficient even under saturation: a true sum s >= width always
+    // admits a split i + j = width with left >= i and right >= j, so
+    // the top output is still forced.
+    for (std::size_t i = 0; i <= left.size(); ++i) {
+        for (std::size_t j = (i == 0 ? 1 : 0);
+             i + j <= width && j <= right.size(); ++j) {
+            const Lit out = merged[i + j - 1];
+            // (left >= i) and (right >= j) -> (merged >= i + j).
+            if (i > 0 && j > 0)
+                sat.addTernary(~left[i - 1], ~right[j - 1], out);
+            else if (i > 0)
+                sat.addBinary(~left[i - 1], out);
+            else
+                sat.addBinary(~right[j - 1], out);
+        }
+    }
+    return merged;
+}
+
+Lit
+Totalizer::atLeast(std::size_t count) const
+{
+    require(count >= 1 && count <= outputs.size(),
+            "Totalizer::atLeast(", count, ") out of range 1..",
+            outputs.size());
+    return outputs[count - 1];
+}
+
+void
+Totalizer::boundAtMost(std::size_t bound)
+{
+    require(bound + 1 <= outputs.size() || bound >= numInputs,
+            "Totalizer bound ", bound, " exceeds cap ", cap);
+    if (bound >= numInputs)
+        return; // vacuous
+    sat.addUnit(~atLeast(bound + 1));
+}
+
+} // namespace fermihedral::sat

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Basic SAT solver types: variables, literals and ternary values.
+ *
+ * Follows the MiniSat conventions: a literal packs a variable index
+ * and a sign into one integer (var << 1 | sign), which doubles as an
+ * index into watch lists.
+ */
+
+#ifndef FERMIHEDRAL_SAT_TYPES_H
+#define FERMIHEDRAL_SAT_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace fermihedral::sat {
+
+/** A Boolean variable index, 0-based. */
+using Var = std::int32_t;
+
+/** Sentinel for "no variable". */
+constexpr Var varUndef = -1;
+
+/** A literal: a variable together with a sign. */
+struct Lit
+{
+    /** Packed representation: (var << 1) | sign. */
+    std::int32_t code = -2;
+
+    bool operator==(const Lit &other) const = default;
+    bool operator<(const Lit &other) const
+    {
+        return code < other.code;
+    }
+};
+
+/** Make a literal; negated=true yields NOT var. */
+constexpr Lit
+mkLit(Var var, bool negated = false)
+{
+    return Lit{(var << 1) | static_cast<std::int32_t>(negated)};
+}
+
+/** Logical negation of a literal. */
+constexpr Lit
+operator~(Lit lit)
+{
+    return Lit{lit.code ^ 1};
+}
+
+/** The variable underlying a literal. */
+constexpr Var
+litVar(Lit lit)
+{
+    return lit.code >> 1;
+}
+
+/** True when the literal is the negation of its variable. */
+constexpr bool
+litSign(Lit lit)
+{
+    return lit.code & 1;
+}
+
+/** Sentinel literal. */
+constexpr Lit litUndef = Lit{-2};
+
+/** A ternary truth value. */
+enum class LBool : std::int8_t { False = -1, Undef = 0, True = 1 };
+
+/** Negate a ternary value (Undef stays Undef). */
+constexpr LBool
+operator-(LBool value)
+{
+    return static_cast<LBool>(-static_cast<std::int8_t>(value));
+}
+
+/** Human-readable literal, e.g.\ "-3" for NOT x3 (1-based). */
+inline std::string
+litToString(Lit lit)
+{
+    return (litSign(lit) ? "-" : "") +
+           std::to_string(litVar(lit) + 1);
+}
+
+} // namespace fermihedral::sat
+
+#endif // FERMIHEDRAL_SAT_TYPES_H

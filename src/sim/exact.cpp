@@ -1,0 +1,207 @@
+#include "sim/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fermihedral::sim {
+
+namespace {
+
+/**
+ * Cyclic Jacobi diagonalization of a real symmetric matrix.
+ * Rotations accumulate into `vectors` (columns = eigenvectors).
+ */
+void
+jacobiRealSymmetric(std::vector<double> &a, std::size_t n,
+                    std::vector<double> &vectors,
+                    std::vector<double> &values)
+{
+    vectors.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        vectors[i * n + i] = 1.0;
+
+    auto off_diagonal_norm = [&]() {
+        double sum = 0.0;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q)
+                sum += a[p * n + q] * a[p * n + q];
+        }
+        return std::sqrt(sum);
+    };
+
+    const double tolerance = 1e-12 * std::max(1.0, [&]() {
+        double scale = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            scale = std::max(scale, std::abs(a[i * n + i]));
+        return scale;
+    }());
+
+    constexpr int max_sweeps = 64;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diagonal_norm() <= tolerance)
+            break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::abs(apq) <= 1e-300)
+                    continue;
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a[k * n + p];
+                    const double akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a[p * n + k];
+                    const double aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = vectors[k * n + p];
+                    const double vkq = vectors[k * n + q];
+                    vectors[k * n + p] = c * vkp - s * vkq;
+                    vectors[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = a[i * n + i];
+}
+
+} // namespace
+
+StateVector
+EigenSystem::state(std::size_t k) const
+{
+    require(k < vectors.size(), "eigenstate index out of range");
+    const std::size_t dim = vectors[k].size();
+    std::size_t qubits = 0;
+    while ((std::size_t{1} << qubits) < dim)
+        ++qubits;
+    require((std::size_t{1} << qubits) == dim,
+            "eigenvector dimension is not a power of two");
+    StateVector state(qubits, vectors[k]);
+    state.normalize();
+    return state;
+}
+
+std::vector<Amplitude>
+denseMatrix(const pauli::PauliSum &sum)
+{
+    const std::size_t n = sum.numQubits();
+    require(n <= 14, "denseMatrix limited to 14 qubits");
+    const std::size_t dim = std::size_t{1} << n;
+    std::vector<Amplitude> matrix(dim * dim, {0.0, 0.0});
+    for (const auto &term : sum.terms()) {
+        for (std::uint64_t col = 0; col < dim; ++col) {
+            const auto image = term.string.applyToBasis(col);
+            matrix[image.bits * dim + col] +=
+                term.coefficient * image.amplitude();
+        }
+    }
+    return matrix;
+}
+
+EigenSystem
+eigendecomposeHermitian(const std::vector<Amplitude> &matrix,
+                        std::size_t dim)
+{
+    require(matrix.size() == dim * dim,
+            "matrix size does not match dimension");
+    // Hermiticity sanity check.
+    for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = r; c < dim; ++c) {
+            const Amplitude delta =
+                matrix[r * dim + c] -
+                std::conj(matrix[c * dim + r]);
+            require(std::abs(delta) < 1e-8,
+                    "eigendecomposeHermitian: matrix not Hermitian");
+        }
+    }
+
+    // Real symmetric embedding M = [[A, -B], [B, A]] of H = A + iB:
+    // each eigenvalue of H appears twice in M, with eigenvector
+    // [Re(v); Im(v)].
+    const std::size_t m = 2 * dim;
+    std::vector<double> embedded(m * m, 0.0);
+    for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = 0; c < dim; ++c) {
+            const double re = matrix[r * dim + c].real();
+            const double im = matrix[r * dim + c].imag();
+            embedded[r * m + c] = re;
+            embedded[(r + dim) * m + (c + dim)] = re;
+            embedded[r * m + (c + dim)] = -im;
+            embedded[(r + dim) * m + c] = im;
+        }
+    }
+
+    std::vector<double> vectors, values;
+    jacobiRealSymmetric(embedded, m, vectors, values);
+
+    // Sort eigenpairs ascending, then keep every second one (the
+    // doubled spectrum collapses back onto the spectrum of H).
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&values](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+
+    EigenSystem system;
+    system.values.reserve(dim);
+    system.vectors.reserve(dim);
+    for (std::size_t pair = 0; pair < dim; ++pair) {
+        const std::size_t column = order[2 * pair];
+        system.values.push_back(values[column]);
+        std::vector<Amplitude> vec(dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+            vec[r] = Amplitude(vectors[r * m + column],
+                               vectors[(r + dim) * m + column]);
+        }
+        // Normalise (the embedding halves the norm split).
+        double norm_sq = 0.0;
+        for (const auto &amp : vec)
+            norm_sq += std::norm(amp);
+        require(norm_sq > 1e-12, "degenerate embedded eigenvector");
+        const double inv = 1.0 / std::sqrt(norm_sq);
+        for (auto &amp : vec)
+            amp *= inv;
+        system.vectors.push_back(std::move(vec));
+    }
+    return system;
+}
+
+EigenSystem
+eigendecompose(const pauli::PauliSum &sum)
+{
+    const auto matrix = denseMatrix(sum);
+    return eigendecomposeHermitian(matrix,
+                                   std::size_t{1}
+                                       << sum.numQubits());
+}
+
+std::vector<double>
+eigenvaluesHermitian(const std::vector<Amplitude> &matrix,
+                     std::size_t dim)
+{
+    return eigendecomposeHermitian(matrix, dim).values;
+}
+
+} // namespace fermihedral::sim

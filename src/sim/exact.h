@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exact dense diagonalization of qubit Hamiltonians.
+ *
+ * Builds the 2^n x 2^n Hermitian matrix of a PauliSum and
+ * diagonalizes it with a cyclic Jacobi eigensolver (via the real
+ * symmetric embedding [[A, -B], [B, A]] of H = A + iB). Used to
+ * prepare the energy eigenstates E0..E3 that the noisy simulations
+ * of Figures 8-10 start from, and to cross-check encoded spectra
+ * against the Fock-space ground truth.
+ */
+
+#ifndef FERMIHEDRAL_SIM_EXACT_H
+#define FERMIHEDRAL_SIM_EXACT_H
+
+#include <complex>
+#include <vector>
+
+#include "pauli/pauli_sum.h"
+#include "sim/statevector.h"
+
+namespace fermihedral::sim {
+
+/** Eigenvalues (ascending) and matching normalised eigenvectors. */
+struct EigenSystem
+{
+    std::vector<double> values;
+    /** vectors[k] is the eigenvector of values[k]. */
+    std::vector<std::vector<Amplitude>> vectors;
+
+    /** The k-th eigenstate as a StateVector. */
+    StateVector state(std::size_t k) const;
+};
+
+/** Dense row-major matrix of a Pauli sum (dim = 2^n). */
+std::vector<Amplitude> denseMatrix(const pauli::PauliSum &sum);
+
+/**
+ * Diagonalize a Hermitian matrix given in row-major order.
+ *
+ * @param matrix Row-major Hermitian matrix, size dim * dim.
+ * @param dim    Matrix dimension.
+ */
+EigenSystem eigendecomposeHermitian(
+    const std::vector<Amplitude> &matrix, std::size_t dim);
+
+/** Convenience: diagonalize a Pauli sum. */
+EigenSystem eigendecompose(const pauli::PauliSum &sum);
+
+/** Eigenvalues only, ascending, of a Hermitian matrix. */
+std::vector<double> eigenvaluesHermitian(
+    const std::vector<Amplitude> &matrix, std::size_t dim);
+
+} // namespace fermihedral::sim
+
+#endif // FERMIHEDRAL_SIM_EXACT_H

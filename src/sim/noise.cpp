@@ -1,0 +1,138 @@
+#include "sim/noise.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fermihedral::sim {
+
+namespace {
+
+/** Apply one uniformly random non-identity Pauli to `qubit`. */
+void
+injectPauli(StateVector &state, std::uint32_t qubit, Rng &rng)
+{
+    static constexpr circuit::GateKind paulis[3] = {
+        circuit::GateKind::X, circuit::GateKind::Y,
+        circuit::GateKind::Z};
+    const auto pick = static_cast<std::size_t>(rng.nextBelow(3));
+    state.applyGate(circuit::Gate{paulis[pick], qubit, 0, 0.0});
+}
+
+/** Apply one of the 15 non-identity two-qubit Paulis. */
+void
+injectTwoQubitPauli(StateVector &state, std::uint32_t qubit_a,
+                    std::uint32_t qubit_b, Rng &rng)
+{
+    const auto pick = static_cast<std::uint32_t>(rng.nextBelow(15));
+    // pick + 1 in base 4: digit 0 -> qubit_a, digit 1 -> qubit_b.
+    const std::uint32_t code = pick + 1;
+    static constexpr circuit::GateKind ops[4] = {
+        circuit::GateKind::H /* unused slot for I */,
+        circuit::GateKind::X, circuit::GateKind::Y,
+        circuit::GateKind::Z};
+    const std::uint32_t op_a = code % 4;
+    const std::uint32_t op_b = code / 4;
+    if (op_a != 0)
+        state.applyGate(circuit::Gate{ops[op_a], qubit_a, 0, 0.0});
+    if (op_b != 0)
+        state.applyGate(circuit::Gate{ops[op_b], qubit_b, 0, 0.0});
+}
+
+} // namespace
+
+StateVector
+runNoisyTrajectory(const circuit::Circuit &circuit,
+                   const StateVector &initial,
+                   const NoiseModel &noise, Rng &rng)
+{
+    StateVector state = initial;
+    for (const auto &gate : circuit.gates()) {
+        state.applyGate(gate);
+        if (gate.kind == circuit::GateKind::Cnot) {
+            if (noise.twoQubitError > 0 &&
+                rng.nextBool(noise.twoQubitError)) {
+                injectTwoQubitPauli(state, gate.qubit0, gate.qubit1,
+                                    rng);
+            }
+        } else if (noise.singleQubitError > 0 &&
+                   rng.nextBool(noise.singleQubitError)) {
+            injectPauli(state, gate.qubit0, rng);
+        }
+    }
+    return state;
+}
+
+double
+sampleEnergy(const StateVector &state,
+             const pauli::PauliSum &hamiltonian,
+             const NoiseModel &noise, Rng &rng)
+{
+    double energy = 0.0;
+    for (const auto &term : hamiltonian.terms()) {
+        if (term.string.isIdentity()) {
+            energy += term.coefficient.real();
+            continue;
+        }
+        // Rotate this term's support into the Z basis.
+        StateVector rotated = state;
+        std::uint64_t support = 0;
+        for (std::size_t q = 0; q < term.string.numQubits(); ++q) {
+            const pauli::PauliOp op = term.string.op(q);
+            if (op == pauli::PauliOp::I)
+                continue;
+            support |= std::uint64_t{1} << q;
+            const auto qubit = static_cast<std::uint32_t>(q);
+            if (op == pauli::PauliOp::X) {
+                rotated.applyGate(
+                    {circuit::GateKind::H, qubit, 0, 0.0});
+            } else if (op == pauli::PauliOp::Y) {
+                rotated.applyGate(
+                    {circuit::GateKind::Sdg, qubit, 0, 0.0});
+                rotated.applyGate(
+                    {circuit::GateKind::H, qubit, 0, 0.0});
+            }
+        }
+        std::uint64_t bits = rotated.sampleBasisState(rng);
+        if (noise.readoutError > 0) {
+            for (std::size_t q = 0; q < term.string.numQubits();
+                 ++q) {
+                if (rng.nextBool(noise.readoutError))
+                    bits ^= std::uint64_t{1} << q;
+            }
+        }
+        const int parity = std::popcount(bits & support) % 2;
+        const double value = parity == 0 ? 1.0 : -1.0;
+        energy += term.coefficient.real() * value;
+    }
+    return energy;
+}
+
+EnergyStatistics
+measureEnergy(const circuit::Circuit &circuit,
+              const StateVector &initial,
+              const pauli::PauliSum &hamiltonian,
+              const NoiseModel &noise, std::size_t shots, Rng &rng)
+{
+    require(shots >= 1, "measureEnergy needs at least one shot");
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t shot = 0; shot < shots; ++shot) {
+        const StateVector final_state =
+            runNoisyTrajectory(circuit, initial, noise, rng);
+        const double energy =
+            sampleEnergy(final_state, hamiltonian, noise, rng);
+        sum += energy;
+        sum_sq += energy * energy;
+    }
+    EnergyStatistics stats;
+    stats.shots = shots;
+    stats.mean = sum / static_cast<double>(shots);
+    const double variance =
+        std::max(0.0, sum_sq / static_cast<double>(shots) -
+                          stats.mean * stats.mean);
+    stats.standardDeviation = std::sqrt(variance);
+    return stats;
+}
+
+} // namespace fermihedral::sim

@@ -1,0 +1,204 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fermihedral::sim {
+
+namespace {
+
+constexpr Amplitude kI{0.0, 1.0};
+
+} // namespace
+
+StateVector::StateVector(std::size_t num_qubits)
+    : n(num_qubits), amps(std::size_t{1} << num_qubits, {0.0, 0.0})
+{
+    require(num_qubits >= 1 && num_qubits <= 26,
+            "StateVector supports 1..26 qubits");
+    amps[0] = 1.0;
+}
+
+StateVector::StateVector(std::size_t num_qubits,
+                         std::vector<Amplitude> amplitudes)
+    : n(num_qubits), amps(std::move(amplitudes))
+{
+    require(amps.size() == (std::size_t{1} << num_qubits),
+            "amplitude vector size must be 2^n");
+}
+
+void
+StateVector::setBasisState(std::uint64_t bits)
+{
+    require(bits < amps.size(), "basis state out of range");
+    std::fill(amps.begin(), amps.end(), Amplitude{0.0, 0.0});
+    amps[bits] = 1.0;
+}
+
+void
+StateVector::applyUnitary(std::uint32_t qubit, const Amplitude m00,
+                          const Amplitude m01, const Amplitude m10,
+                          const Amplitude m11)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = base + offset;
+            const std::size_t i1 = i0 + stride;
+            const Amplitude a0 = amps[i0];
+            const Amplitude a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+StateVector::applyCnot(std::uint32_t control, std::uint32_t target)
+{
+    require(control < n && target < n && control != target,
+            "invalid CNOT qubits");
+    const std::size_t cmask = std::size_t{1} << control;
+    const std::size_t tmask = std::size_t{1} << target;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        if ((i & cmask) && !(i & tmask))
+            std::swap(amps[i], amps[i | tmask]);
+    }
+}
+
+void
+StateVector::applyGate(const circuit::Gate &gate)
+{
+    using circuit::GateKind;
+    const double half = gate.angle / 2.0;
+    const double c = std::cos(half);
+    const double s = std::sin(half);
+    switch (gate.kind) {
+      case GateKind::H: {
+        const double r = 1.0 / std::sqrt(2.0);
+        applyUnitary(gate.qubit0, r, r, r, -r);
+        break;
+      }
+      case GateKind::X:
+        applyUnitary(gate.qubit0, 0.0, 1.0, 1.0, 0.0);
+        break;
+      case GateKind::Y:
+        applyUnitary(gate.qubit0, 0.0, -kI, kI, 0.0);
+        break;
+      case GateKind::Z:
+        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, -1.0);
+        break;
+      case GateKind::S:
+        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, kI);
+        break;
+      case GateKind::Sdg:
+        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, -kI);
+        break;
+      case GateKind::Rx:
+        applyUnitary(gate.qubit0, c, -kI * s, -kI * s, c);
+        break;
+      case GateKind::Ry:
+        applyUnitary(gate.qubit0, c, -s, s, c);
+        break;
+      case GateKind::Rz:
+        applyUnitary(gate.qubit0, Amplitude{c, -s}, 0.0, 0.0,
+                     Amplitude{c, s});
+        break;
+      case GateKind::Cnot:
+        applyCnot(gate.qubit0, gate.qubit1);
+        break;
+    }
+}
+
+void
+StateVector::applyCircuit(const circuit::Circuit &circuit)
+{
+    require(circuit.numQubits() == n,
+            "circuit width does not match state");
+    for (const auto &gate : circuit.gates())
+        applyGate(gate);
+}
+
+void
+StateVector::applyPauli(const pauli::PauliString &string)
+{
+    require(string.numQubits() == n,
+            "Pauli width does not match state");
+    std::vector<Amplitude> next(amps.size());
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        const auto image = string.applyToBasis(b);
+        next[image.bits] += image.amplitude() * amps[b];
+    }
+    amps = std::move(next);
+}
+
+Amplitude
+StateVector::expectation(const pauli::PauliString &string) const
+{
+    require(string.numQubits() == n,
+            "Pauli width does not match state");
+    Amplitude sum{0.0, 0.0};
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        const auto image = string.applyToBasis(b);
+        sum += std::conj(amps[image.bits]) * image.amplitude() *
+               amps[b];
+    }
+    return sum;
+}
+
+double
+StateVector::expectation(const pauli::PauliSum &hamiltonian) const
+{
+    double energy = 0.0;
+    for (const auto &term : hamiltonian.terms()) {
+        energy +=
+            (term.coefficient * expectation(term.string)).real();
+    }
+    return energy;
+}
+
+std::uint64_t
+StateVector::sampleBasisState(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        cumulative += std::norm(amps[b]);
+        if (u < cumulative)
+            return b;
+    }
+    return amps.size() - 1; // rounding tail
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    require(other.n == n, "fidelity of different-width states");
+    Amplitude overlap{0.0, 0.0};
+    for (std::size_t b = 0; b < amps.size(); ++b)
+        overlap += std::conj(other.amps[b]) * amps[b];
+    return std::norm(overlap);
+}
+
+double
+StateVector::norm() const
+{
+    double sum = 0.0;
+    for (const Amplitude &amp : amps)
+        sum += std::norm(amp);
+    return std::sqrt(sum);
+}
+
+void
+StateVector::normalize()
+{
+    const double length = norm();
+    require(length > 1e-300, "cannot normalize the zero vector");
+    for (Amplitude &amp : amps)
+        amp /= length;
+}
+
+} // namespace fermihedral::sim

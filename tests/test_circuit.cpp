@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the circuit IR and the peephole passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/passes.h"
+#include "common/logging.h"
+
+namespace fermihedral::circuit {
+namespace {
+
+TEST(Circuit, CountsSingleAndTwoQubitGates)
+{
+    Circuit c(3);
+    c.add(GateKind::H, 0);
+    c.add(GateKind::Rz, 1, 0.5);
+    c.addCnot(0, 1);
+    c.addCnot(1, 2);
+    const auto costs = c.costs();
+    EXPECT_EQ(costs.singleQubitGates, 2u);
+    EXPECT_EQ(costs.cnotGates, 2u);
+    EXPECT_EQ(costs.totalGates, 4u);
+}
+
+TEST(Circuit, DepthIsAsapSchedule)
+{
+    Circuit c(3);
+    // Parallel H's: depth 1.
+    c.add(GateKind::H, 0);
+    c.add(GateKind::H, 1);
+    c.add(GateKind::H, 2);
+    EXPECT_EQ(c.costs().depth, 1u);
+    // A CNOT chain serialises.
+    c.addCnot(0, 1);
+    c.addCnot(1, 2);
+    EXPECT_EQ(c.costs().depth, 3u);
+}
+
+TEST(Circuit, RejectsBadQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add(GateKind::H, 2), PanicError);
+    EXPECT_THROW(c.addCnot(0, 0), PanicError);
+}
+
+TEST(Passes, CancelsAdjacentHadamards)
+{
+    Circuit c(1);
+    c.add(GateKind::H, 0);
+    c.add(GateKind::H, 0);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Passes, CancelsCnotPairs)
+{
+    Circuit c(2);
+    c.addCnot(0, 1);
+    c.addCnot(0, 1);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Passes, KeepsReversedCnot)
+{
+    Circuit c(2);
+    c.addCnot(0, 1);
+    c.addCnot(1, 0);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Passes, SAndSdgCancel)
+{
+    Circuit c(1);
+    c.add(GateKind::S, 0);
+    c.add(GateKind::Sdg, 0);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Passes, MergesRotations)
+{
+    Circuit c(1);
+    c.add(GateKind::Rz, 0, 0.3);
+    c.add(GateKind::Rz, 0, 0.4);
+    optimizeCircuit(c);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_NEAR(c.gates()[0].angle, 0.7, 1e-12);
+}
+
+TEST(Passes, OppositeRotationsVanish)
+{
+    Circuit c(1);
+    c.add(GateKind::Rz, 0, 0.3);
+    c.add(GateKind::Rz, 0, -0.3);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Passes, InterveningGateBlocksCancellation)
+{
+    Circuit c(1);
+    c.add(GateKind::H, 0);
+    c.add(GateKind::Z, 0);
+    c.add(GateKind::H, 0);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Passes, OtherQubitGatesDoNotBlock)
+{
+    Circuit c(2);
+    c.add(GateKind::H, 0);
+    c.add(GateKind::X, 1); // unrelated
+    c.add(GateKind::H, 0);
+    optimizeCircuit(c);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::X);
+}
+
+TEST(Passes, CascadingCancellation)
+{
+    // H X X H collapses completely (inner pair first, then outer).
+    Circuit c(1);
+    c.add(GateKind::H, 0);
+    c.add(GateKind::X, 0);
+    c.add(GateKind::X, 0);
+    c.add(GateKind::H, 0);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Passes, CnotBlockedByOneSidedGate)
+{
+    Circuit c(2);
+    c.addCnot(0, 1);
+    c.add(GateKind::Z, 0); // touches the control in between
+    c.addCnot(0, 1);
+    optimizeCircuit(c);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Circuit, ToStringListsGates)
+{
+    Circuit c(2);
+    c.add(GateKind::H, 0);
+    c.addCnot(0, 1);
+    c.add(GateKind::Rz, 1, 0.25);
+    const auto text = c.toString();
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+    EXPECT_NE(text.find("rz(0.25"), std::string::npos);
+}
+
+} // namespace
+} // namespace fermihedral::circuit

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for qubit-wise commuting measurement grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pauli/commuting_groups.h"
+
+namespace fermihedral::pauli {
+namespace {
+
+TEST(QubitWiseCommute, BasicPairs)
+{
+    const auto xi = PauliString::fromLabel("XI");
+    const auto ix = PauliString::fromLabel("IX");
+    const auto xx = PauliString::fromLabel("XX");
+    const auto yx = PauliString::fromLabel("YX");
+    const auto ii = PauliString::fromLabel("II");
+    EXPECT_TRUE(qubitWiseCommute(xi, ix));
+    EXPECT_TRUE(qubitWiseCommute(xi, xx));
+    EXPECT_TRUE(qubitWiseCommute(xx, xx));
+    EXPECT_FALSE(qubitWiseCommute(xx, yx));
+    EXPECT_TRUE(qubitWiseCommute(ii, yx));
+}
+
+TEST(QubitWiseCommute, ImpliesFullCommutation)
+{
+    Rng rng(61);
+    for (int trial = 0; trial < 300; ++trial) {
+        PauliString a(4), b(4);
+        for (std::size_t q = 0; q < 4; ++q) {
+            a.setOp(q, static_cast<PauliOp>(rng.nextBelow(4)));
+            b.setOp(q, static_cast<PauliOp>(rng.nextBelow(4)));
+        }
+        if (qubitWiseCommute(a, b)) {
+            EXPECT_TRUE(a.commutesWith(b))
+                << a.label() << " vs " << b.label();
+        }
+    }
+}
+
+TEST(Grouping, ZOnlyHamiltonianIsOneGroup)
+{
+    PauliSum sum(3);
+    sum.add(1.0, PauliString::fromLabel("ZZI"));
+    sum.add(0.5, PauliString::fromLabel("IZZ"));
+    sum.add(-0.25, PauliString::fromLabel("ZIZ"));
+    sum.simplify();
+    const auto groups = groupQubitWiseCommuting(sum);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].termIndices.size(), 3u);
+    EXPECT_EQ(groups[0].basis.label(), "ZZZ");
+}
+
+TEST(Grouping, MixedBasisSplits)
+{
+    PauliSum sum(2);
+    sum.add(1.0, PauliString::fromLabel("XX"));
+    sum.add(1.0, PauliString::fromLabel("ZZ"));
+    sum.simplify();
+    const auto groups = groupQubitWiseCommuting(sum);
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, IdentityTermsAreSkipped)
+{
+    PauliSum sum(2);
+    sum.add(3.0, PauliString::fromLabel("II"));
+    sum.add(1.0, PauliString::fromLabel("XZ"));
+    sum.simplify();
+    const auto groups = groupQubitWiseCommuting(sum);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].termIndices.size(), 1u);
+}
+
+class GroupingProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GroupingProperty, GroupsPartitionAndInternallyCommute)
+{
+    Rng rng(6100 + GetParam());
+    const std::size_t qubits = 3 + rng.nextBelow(3);
+    PauliSum sum(qubits);
+    const int terms = 5 + static_cast<int>(rng.nextBelow(30));
+    for (int t = 0; t < terms; ++t) {
+        PauliString p(qubits);
+        for (std::size_t q = 0; q < qubits; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.nextBelow(4)));
+        sum.add(rng.nextGaussian(), p);
+    }
+    sum.simplify();
+
+    const auto groups = groupQubitWiseCommuting(sum);
+    std::vector<int> seen(sum.size(), 0);
+    for (const auto &group : groups) {
+        for (const std::size_t index : group.termIndices) {
+            ++seen[index];
+            const auto &member = sum.terms()[index].string;
+            // The basis must cover the member exactly on its
+            // support.
+            EXPECT_TRUE(qubitWiseCommute(group.basis, member));
+        }
+        // Pairwise qubit-wise commutation within the family.
+        for (std::size_t i = 0; i < group.termIndices.size(); ++i) {
+            for (std::size_t j = i + 1;
+                 j < group.termIndices.size(); ++j) {
+                EXPECT_TRUE(qubitWiseCommute(
+                    sum.terms()[group.termIndices[i]].string,
+                    sum.terms()[group.termIndices[j]].string));
+            }
+        }
+    }
+    for (std::size_t index = 0; index < sum.size(); ++index) {
+        const int expected =
+            sum.terms()[index].string.isIdentity() ? 0 : 1;
+        EXPECT_EQ(seen[index], expected) << "term " << index;
+    }
+    EXPECT_LE(groups.size(), sum.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace fermihedral::pauli

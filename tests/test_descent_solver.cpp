@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for Algorithm 1 (the descent solver).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/descent_solver.h"
+#include "encodings/linear.h"
+#include "fermion/models.h"
+
+namespace fermihedral::core {
+namespace {
+
+DescentOptions
+fastOptions()
+{
+    DescentOptions options;
+    options.stepTimeoutSeconds = 10.0;
+    options.totalTimeoutSeconds = 30.0;
+    return options;
+}
+
+TEST(DescentSolver, SingleModeOptimal)
+{
+    DescentSolver solver(1, fastOptions());
+    const auto result = solver.solve();
+    EXPECT_EQ(result.cost, 2u);
+    EXPECT_TRUE(result.provedOptimal);
+    const auto v = enc::validateEncoding(result.encoding);
+    EXPECT_TRUE(v.valid()) << v.detail;
+}
+
+TEST(DescentSolver, TwoModesBeatsOrMatchesBravyiKitaev)
+{
+    DescentSolver solver(2, fastOptions());
+    const auto result = solver.solve();
+    EXPECT_LE(result.cost, result.baselineCost);
+    EXPECT_TRUE(result.provedOptimal);
+    const auto v = enc::validateEncoding(result.encoding);
+    EXPECT_TRUE(v.valid()) << v.detail;
+    EXPECT_TRUE(v.xyPairing) << v.detail;
+    // Figure 6: optimal total weight at N=2 is below BK's 7.
+    EXPECT_LE(result.cost, 6u);
+}
+
+TEST(DescentSolver, ThreeModesProducesValidOptimal)
+{
+    DescentSolver solver(3, fastOptions());
+    const auto result = solver.solve();
+    EXPECT_LE(result.cost, result.baselineCost);
+    const auto v = enc::validateEncoding(result.encoding);
+    EXPECT_TRUE(v.valid()) << v.detail;
+}
+
+TEST(DescentSolver, WithoutAlgebraicIndependenceMatches)
+{
+    // Section 4.1: dropping the constraint rarely changes the
+    // optimum; at N = 2 the optimal weight must agree.
+    DescentOptions with = fastOptions();
+    DescentOptions without = fastOptions();
+    without.algebraicIndependence = false;
+
+    const auto full = DescentSolver(2, with).solve();
+    const auto reduced = DescentSolver(2, without).solve();
+    EXPECT_EQ(full.cost, reduced.cost);
+    // The reduced instance must be smaller.
+    EXPECT_LT(reduced.numVars, full.numVars);
+    EXPECT_LT(reduced.numClauses, full.numClauses);
+}
+
+TEST(DescentSolver, HamiltonianDependentTwoSiteHubbard)
+{
+    const auto h = fermion::fermiHubbard1D(2, 1.0, 4.0);
+    DescentOptions options = fastOptions();
+    options.totalTimeoutSeconds = 60.0;
+    DescentSolver solver(h, options);
+    const auto result = solver.solve();
+    EXPECT_LE(result.cost, result.baselineCost);
+    const auto v = enc::validateEncoding(result.encoding);
+    EXPECT_TRUE(v.valid()) << v.detail;
+    // The reported cost must equal the independent recomputation.
+    EXPECT_EQ(result.cost,
+              enc::hamiltonianPauliWeight(h, result.encoding));
+}
+
+TEST(DescentSolver, TrajectoryIsMonotoneDecreasing)
+{
+    DescentSolver solver(3, fastOptions());
+    const auto result = solver.solve();
+    for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+        EXPECT_LT(result.trajectory[i].first,
+                  result.trajectory[i - 1].first);
+    }
+}
+
+TEST(DescentSolver, TinyBudgetStillReturnsBaseline)
+{
+    DescentOptions options;
+    options.stepTimeoutSeconds = 1e-6;
+    options.totalTimeoutSeconds = 1e-6;
+    DescentSolver solver(4, options);
+    const auto result = solver.solve();
+    // Whatever happens, the result is a valid encoding no worse
+    // than BK (possibly BK itself).
+    EXPECT_LE(result.cost, result.baselineCost);
+    EXPECT_TRUE(enc::validateEncoding(result.encoding).valid());
+}
+
+TEST(DescentSolver, EnumerateOptimalYieldsDistinctValidEncodings)
+{
+    DescentSolver solver(2, fastOptions());
+    const auto result = solver.solve();
+    const auto samples = solver.enumerateOptimal(5, 20.0);
+    EXPECT_GE(samples.size(), 2u);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_TRUE(enc::validateEncoding(samples[i]).valid());
+        EXPECT_LE(samples[i].totalWeight(), result.cost);
+        for (std::size_t j = i + 1; j < samples.size(); ++j) {
+            EXPECT_FALSE(samples[i].majoranas ==
+                         samples[j].majoranas);
+        }
+    }
+}
+
+} // namespace
+} // namespace fermihedral::core

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the baseline encodings and the encoding validator.
+ *
+ * The decisive integration property: for every encoding, the
+ * spectrum of the mapped qubit Hamiltonian equals the Fock-space
+ * spectrum of the Fermionic Hamiltonian exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "encodings/encoding.h"
+#include "encodings/linear.h"
+#include "encodings/ternary_tree.h"
+#include "fermion/fock.h"
+#include "fermion/models.h"
+#include "sim/exact.h"
+
+namespace fermihedral::enc {
+namespace {
+
+TEST(JordanWigner, MatchesPaperExample)
+{
+    // Paper Eq. 2 (converted to our 0-indexed gamma convention):
+    // mode 0: gamma0 = IX, gamma1 = IY;
+    // mode 1: gamma2 = XZ, gamma3 = YZ.
+    const auto jw = jordanWigner(2);
+    ASSERT_EQ(jw.majoranas.size(), 4u);
+    EXPECT_TRUE(jw.majoranas[0].bareEquals(
+        pauli::PauliString::fromLabel("IX")));
+    EXPECT_TRUE(jw.majoranas[1].bareEquals(
+        pauli::PauliString::fromLabel("IY")));
+    EXPECT_TRUE(jw.majoranas[2].bareEquals(
+        pauli::PauliString::fromLabel("XZ")));
+    EXPECT_TRUE(jw.majoranas[3].bareEquals(
+        pauli::PauliString::fromLabel("YZ")));
+}
+
+TEST(JordanWigner, WeightIsLinear)
+{
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        const auto jw = jordanWigner(n);
+        // Sum of weights: 2 * (1 + 2 + ... + n) = n (n + 1).
+        EXPECT_EQ(jw.totalWeight(), n * (n + 1));
+    }
+}
+
+TEST(BravyiKitaev, LogarithmicWeightScaling)
+{
+    const double w8 = bravyiKitaev(8).weightPerOperator();
+    const double w32 = bravyiKitaev(32).weightPerOperator();
+    const double jw8 = jordanWigner(8).weightPerOperator();
+    const double jw32 = jordanWigner(32).weightPerOperator();
+    // BK grows ~log N: going 8 -> 32 should add far less weight
+    // than JW's linear growth.
+    EXPECT_LT(w32 - w8, 2.5);
+    EXPECT_GT(jw32 - jw8, 10.0);
+}
+
+TEST(BravyiKitaev, PaperPauliWeightBaseline)
+{
+    // Figure 6 plots BK per-operator weight ~ 0.73 log2(N) + 0.94.
+    for (std::size_t n : {4u, 8u, 16u}) {
+        const double per_op = bravyiKitaev(n).weightPerOperator();
+        const double fit = 0.73 * std::log2(double(n)) + 0.94;
+        EXPECT_NEAR(per_op, fit, 0.75) << "n=" << n;
+    }
+}
+
+TEST(FenwickMatrix, MatchesBinaryIndexedTreeStructure)
+{
+    const auto m = fenwickMatrix(8);
+    // Row q covers [q+1-lowbit(q+1), q]: row 0 = {0}, row 1 = {0,1},
+    // row 3 = {0,1,2,3}, row 7 = {0..7}, row 4 = {4}.
+    EXPECT_TRUE(m.get(1, 0) && m.get(1, 1));
+    EXPECT_FALSE(m.get(1, 2));
+    for (int c = 0; c < 4; ++c)
+        EXPECT_TRUE(m.get(3, c));
+    EXPECT_TRUE(m.get(4, 4));
+    EXPECT_FALSE(m.get(4, 3));
+}
+
+class BaselineValidation
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BaselineValidation, JordanWignerSatisfiesAllConstraints)
+{
+    const auto v = validateEncoding(jordanWigner(GetParam()));
+    EXPECT_TRUE(v.anticommutativity) << v.detail;
+    EXPECT_TRUE(v.algebraicIndependence) << v.detail;
+    EXPECT_TRUE(v.vacuumPreserving) << v.detail;
+    EXPECT_TRUE(v.xyPairing) << v.detail;
+}
+
+TEST_P(BaselineValidation, BravyiKitaevSatisfiesAllConstraints)
+{
+    const auto v = validateEncoding(bravyiKitaev(GetParam()));
+    EXPECT_TRUE(v.anticommutativity) << v.detail;
+    EXPECT_TRUE(v.algebraicIndependence) << v.detail;
+    EXPECT_TRUE(v.vacuumPreserving) << v.detail;
+    EXPECT_TRUE(v.xyPairing) << v.detail;
+}
+
+TEST_P(BaselineValidation, ParitySatisfiesCoreConstraints)
+{
+    const auto v = validateEncoding(parity(GetParam()));
+    EXPECT_TRUE(v.anticommutativity) << v.detail;
+    EXPECT_TRUE(v.algebraicIndependence) << v.detail;
+    EXPECT_TRUE(v.vacuumPreserving) << v.detail;
+}
+
+TEST_P(BaselineValidation, TernaryTreeCoreConstraints)
+{
+    const auto v = validateEncoding(ternaryTree(GetParam()));
+    EXPECT_TRUE(v.anticommutativity) << v.detail;
+    EXPECT_TRUE(v.algebraicIndependence) << v.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BaselineValidation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8,
+                                           12, 16));
+
+TEST(TernaryTree, WeightBeatsJordanWignerAtScale)
+{
+    const auto tt = ternaryTree(16);
+    const auto jw = jordanWigner(16);
+    EXPECT_LT(tt.totalWeight(), jw.totalWeight());
+    // Depth of a balanced ternary tree with 16 nodes is 3-4.
+    for (const auto &string : tt.majoranas)
+        EXPECT_LE(string.weight(), 4u);
+}
+
+TEST(Validator, DetectsCommutingStrings)
+{
+    FermionEncoding bad;
+    bad.modes = 1;
+    bad.majoranas = {pauli::PauliString::fromLabel("X"),
+                     pauli::PauliString::fromLabel("X")};
+    const auto v = validateEncoding(bad);
+    EXPECT_FALSE(v.anticommutativity);
+    EXPECT_FALSE(v.valid());
+}
+
+TEST(Validator, DetectsAlgebraicDependence)
+{
+    // X, Y, Z on one qubit pairwise anticommute but X*Y*Z ~ I.
+    FermionEncoding bad;
+    bad.modes = 1; // wrong count triggers early exit, so use 2 modes
+    bad.modes = 2;
+    bad.majoranas = {pauli::PauliString::fromLabel("IX"),
+                     pauli::PauliString::fromLabel("IY"),
+                     pauli::PauliString::fromLabel("IZ"),
+                     pauli::PauliString::fromLabel("XI")};
+    // IX * IY * IZ = i II... but XI commutes with none? XI vs IX
+    // commute -> anticommutativity already fails; check dependence
+    // via rank directly on the first three plus their product.
+    const auto v = validateEncoding(bad);
+    EXPECT_FALSE(v.valid());
+}
+
+/** Spectrum preservation across encodings and models. */
+struct SpectrumCase
+{
+    const char *name;
+    int which; // 0 = JW, 1 = BK, 2 = parity, 3 = ternary tree
+};
+
+class SpectrumProperty : public ::testing::TestWithParam<SpectrumCase>
+{
+  protected:
+    static FermionEncoding
+    make(int which, std::size_t modes)
+    {
+        switch (which) {
+          case 0: return jordanWigner(modes);
+          case 1: return bravyiKitaev(modes);
+          case 2: return parity(modes);
+          default: return ternaryTree(modes);
+        }
+    }
+};
+
+TEST_P(SpectrumProperty, HubbardSpectrumPreserved)
+{
+    const auto h = fermion::fermiHubbard1D(2, 1.0, 3.0);
+    const auto encoding = make(GetParam().which, h.modes());
+    const auto qubit_h = mapToQubits(h, encoding);
+    EXPECT_TRUE(qubit_h.isHermitian(1e-9));
+
+    const auto fock = fermion::fockMatrix(h);
+    const std::size_t dim = std::size_t{1} << h.modes();
+    const auto fock_eigs = sim::eigenvaluesHermitian(fock, dim);
+    const auto qubit_eigs =
+        sim::eigenvaluesHermitian(sim::denseMatrix(qubit_h), dim);
+    ASSERT_EQ(fock_eigs.size(), qubit_eigs.size());
+    for (std::size_t i = 0; i < fock_eigs.size(); ++i)
+        EXPECT_NEAR(fock_eigs[i], qubit_eigs[i], 1e-8)
+            << GetParam().name << " eigenvalue " << i;
+}
+
+TEST_P(SpectrumProperty, SykSpectrumPreserved)
+{
+    Rng rng(99);
+    const auto h = fermion::sykModel(3, rng);
+    const auto encoding = make(GetParam().which, h.modes());
+    const auto qubit_h = mapToQubits(h, encoding);
+    EXPECT_TRUE(qubit_h.isHermitian(1e-9));
+
+    const auto fock = fermion::fockMatrix(h);
+    const std::size_t dim = std::size_t{1} << h.modes();
+    const auto fock_eigs = sim::eigenvaluesHermitian(fock, dim);
+    const auto qubit_eigs =
+        sim::eigenvaluesHermitian(sim::denseMatrix(qubit_h), dim);
+    for (std::size_t i = 0; i < fock_eigs.size(); ++i)
+        EXPECT_NEAR(fock_eigs[i], qubit_eigs[i], 1e-8)
+            << GetParam().name << " eigenvalue " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Encodings, SpectrumProperty,
+    ::testing::Values(SpectrumCase{"jw", 0}, SpectrumCase{"bk", 1},
+                      SpectrumCase{"parity", 2},
+                      SpectrumCase{"ternary", 3}));
+
+TEST(MapToQubits, PaperTwoModeExample)
+{
+    // Paper Sec. 2.2.2: h1 a1^dag a1 + h2 a2^dag a2 under JW maps to
+    // (h1+h2)/2 II - h1/2 IZ - h2/2 ZI.
+    const double h1 = 0.3, h2 = 0.7;
+    fermion::FermionHamiltonian hf(2);
+    hf.addFermionTerm(h1, {fermion::create(0),
+                           fermion::annihilate(0)});
+    hf.addFermionTerm(h2, {fermion::create(1),
+                           fermion::annihilate(1)});
+    const auto mapped = mapToQubits(hf, jordanWigner(2));
+    ASSERT_EQ(mapped.size(), 3u);
+    for (const auto &term : mapped.terms()) {
+        const auto label = term.string.label();
+        if (label == "II")
+            EXPECT_NEAR(term.coefficient.real(), (h1 + h2) / 2,
+                        1e-12);
+        else if (label == "IZ")
+            EXPECT_NEAR(term.coefficient.real(), -h1 / 2, 1e-12);
+        else if (label == "ZI")
+            EXPECT_NEAR(term.coefficient.real(), -h2 / 2, 1e-12);
+        else
+            FAIL() << "unexpected term " << label;
+    }
+}
+
+TEST(HamiltonianPauliWeight, AgreesAcrossEncodingsOnStructure)
+{
+    // The Eq. 14 metric must equal multiplicity-weighted product
+    // weights; cross-check against a manual computation for JW.
+    const auto h = fermion::fermiHubbard1D(2, 1.0, 2.0);
+    const auto jw = jordanWigner(2 * 2 / 2 * 2); // 4 modes
+    const std::size_t metric = hamiltonianPauliWeight(h, jw);
+    std::size_t manual = 0;
+    for (const auto &subset : fermion::majoranaStructure(h)) {
+        manual += subset.multiplicity *
+                  majoranaProduct(jw, subset.mask).weight();
+    }
+    EXPECT_EQ(metric, manual);
+    EXPECT_GT(metric, 0u);
+}
+
+TEST(MajoranaProduct, EmptyMaskIsIdentity)
+{
+    const auto jw = jordanWigner(3);
+    EXPECT_TRUE(majoranaProduct(jw, 0).isIdentity());
+}
+
+} // namespace
+} // namespace fermihedral::enc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for dense matrices and the Hermitian eigensolver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fermion/fock.h"
+#include "fermion/models.h"
+#include "sim/exact.h"
+
+namespace fermihedral::sim {
+namespace {
+
+TEST(DenseMatrix, PauliZMatrix)
+{
+    pauli::PauliSum sum(1);
+    sum.add(1.0, pauli::PauliString::fromLabel("Z"));
+    const auto m = denseMatrix(sum);
+    EXPECT_NEAR(std::abs(m[0] - 1.0), 0.0, 1e-15);
+    EXPECT_NEAR(std::abs(m[3] + 1.0), 0.0, 1e-15);
+    EXPECT_NEAR(std::abs(m[1]), 0.0, 1e-15);
+}
+
+TEST(DenseMatrix, PauliYMatrixIsComplex)
+{
+    pauli::PauliSum sum(1);
+    sum.add(1.0, pauli::PauliString::fromLabel("Y"));
+    const auto m = denseMatrix(sum);
+    EXPECT_NEAR(std::abs(m[1] - std::complex<double>(0, -1)), 0.0,
+                1e-15);
+    EXPECT_NEAR(std::abs(m[2] - std::complex<double>(0, 1)), 0.0,
+                1e-15);
+}
+
+TEST(Eigensolver, PauliZSpectrum)
+{
+    pauli::PauliSum sum(1);
+    sum.add(1.0, pauli::PauliString::fromLabel("Z"));
+    const auto system = eigendecompose(sum);
+    ASSERT_EQ(system.values.size(), 2u);
+    EXPECT_NEAR(system.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(system.values[1], 1.0, 1e-10);
+}
+
+TEST(Eigensolver, TransverseFieldPair)
+{
+    // H = X has eigenvalues -1, +1 with |-> and |+>.
+    pauli::PauliSum sum(1);
+    sum.add(1.0, pauli::PauliString::fromLabel("X"));
+    const auto system = eigendecompose(sum);
+    EXPECT_NEAR(system.values[0], -1.0, 1e-10);
+    const auto ground = system.state(0);
+    // |<-|ground>|^2 = 1 with |-> = (|0> - |1>)/sqrt2.
+    EXPECT_NEAR(std::norm(ground.amplitudes()[0] -
+                          ground.amplitudes()[1]) /
+                    2.0,
+                1.0, 1e-9);
+}
+
+TEST(Eigensolver, ReconstructsRandomHermitian)
+{
+    Rng rng(31);
+    const std::size_t dim = 8;
+    std::vector<Amplitude> m(dim * dim);
+    for (std::size_t r = 0; r < dim; ++r) {
+        m[r * dim + r] = rng.nextGaussian();
+        for (std::size_t c = r + 1; c < dim; ++c) {
+            const Amplitude v(rng.nextGaussian(),
+                              rng.nextGaussian());
+            m[r * dim + c] = v;
+            m[c * dim + r] = std::conj(v);
+        }
+    }
+    const auto system = eigendecomposeHermitian(m, dim);
+
+    // Eigenvalues ascending.
+    for (std::size_t i = 1; i < dim; ++i)
+        EXPECT_LE(system.values[i - 1], system.values[i] + 1e-12);
+
+    // A v = lambda v for every pair.
+    for (std::size_t k = 0; k < dim; ++k) {
+        for (std::size_t r = 0; r < dim; ++r) {
+            Amplitude av{0, 0};
+            for (std::size_t c = 0; c < dim; ++c)
+                av += m[r * dim + c] * system.vectors[k][c];
+            EXPECT_NEAR(std::abs(av - system.values[k] *
+                                          system.vectors[k][r]),
+                        0.0, 1e-8)
+                << "eigenpair " << k << " row " << r;
+        }
+    }
+}
+
+TEST(Eigensolver, TraceEqualsEigenvalueSum)
+{
+    Rng rng(33);
+    pauli::PauliSum sum(3);
+    sum.add(0.7, pauli::PauliString::fromLabel("XYZ"));
+    sum.add(-0.2, pauli::PauliString::fromLabel("ZZI"));
+    sum.add(1.3, pauli::PauliString::fromLabel("III"));
+    sum.simplify();
+    const auto system = eigendecompose(sum);
+    double total = 0.0;
+    for (const double v : system.values)
+        total += v;
+    // Trace = 8 * identity coefficient (Paulis are traceless).
+    EXPECT_NEAR(total, 8 * 1.3, 1e-8);
+}
+
+TEST(Eigensolver, EigenstatesAreStationary)
+{
+    // <E_k| H |E_k> = E_k via the StateVector expectation path.
+    pauli::PauliSum sum(2);
+    sum.add(0.5, pauli::PauliString::fromLabel("XX"));
+    sum.add(0.25, pauli::PauliString::fromLabel("ZI"));
+    sum.add(-0.75, pauli::PauliString::fromLabel("IZ"));
+    sum.simplify();
+    const auto system = eigendecompose(sum);
+    for (std::size_t k = 0; k < system.values.size(); ++k) {
+        const auto state = system.state(k);
+        EXPECT_NEAR(state.expectation(sum), system.values[k], 1e-8);
+    }
+}
+
+TEST(Eigensolver, MatchesFockSpectrumForH2)
+{
+    const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
+    const auto fock = fermion::fockMatrix(h2);
+    const auto values = eigenvaluesHermitian(fock, 16);
+    EXPECT_NEAR(values.front(), -1.8510, 2e-3);
+    // Spectrum is within chemically sensible range.
+    EXPECT_LT(values.front(), values.back());
+}
+
+TEST(Eigensolver, RejectsNonHermitianInput)
+{
+    std::vector<Amplitude> m = {0.0, 1.0, 0.0, 0.0}; // upper shift
+    EXPECT_THROW(eigendecomposeHermitian(m, 2), PanicError);
+}
+
+} // namespace
+} // namespace fermihedral::sim

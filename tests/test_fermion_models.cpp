@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the benchmark Hamiltonian generators.
+ *
+ * The H2/STO-3G test pins the full-CI electronic ground-state
+ * energy to the published value, which validates the second-
+ * quantization conventions end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fermion/fock.h"
+#include "fermion/models.h"
+#include "sim/exact.h"
+
+namespace fermihedral::fermion {
+namespace {
+
+/** Smallest eigenvalue of the Fock matrix of a Hamiltonian. */
+double
+groundEnergy(const FermionHamiltonian &hamiltonian)
+{
+    const auto matrix = fockMatrix(hamiltonian);
+    const std::size_t dim = std::size_t{1} << hamiltonian.modes();
+    return sim::eigenvaluesHermitian(matrix, dim).front();
+}
+
+TEST(H2Model, GroundStateEnergyMatchesFullCi)
+{
+    // Electronic (no nuclear repulsion) FCI energy of H2/STO-3G at
+    // 0.7414 A: -1.8510 Ha (total -1.1373 with repulsion 0.7138).
+    const auto h2 = h2Sto3gIntegrals().toHamiltonian();
+    EXPECT_EQ(h2.modes(), 4u);
+    const double e0 = groundEnergy(h2);
+    EXPECT_NEAR(e0, -1.8510, 2e-3);
+    EXPECT_NEAR(e0 + h2Sto3gNuclearRepulsion(), -1.1373, 2e-3);
+}
+
+TEST(H2Model, MatrixIsHermitian)
+{
+    const auto h2 = h2Sto3gIntegrals().toHamiltonian();
+    const auto matrix = fockMatrix(h2);
+    const std::size_t dim = 16;
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            EXPECT_LT(std::abs(matrix[r * dim + c] -
+                               std::conj(matrix[c * dim + r])),
+                      1e-12);
+}
+
+TEST(H2Model, ConservesParticleNumber)
+{
+    const auto h2 = h2Sto3gIntegrals().toHamiltonian();
+    const auto matrix = fockMatrix(h2);
+    const std::size_t dim = 16;
+    for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = 0; c < dim; ++c) {
+            if (std::popcount(r) != std::popcount(c)) {
+                EXPECT_LT(std::abs(matrix[r * dim + c]), 1e-12)
+                    << r << "," << c;
+            }
+        }
+    }
+}
+
+TEST(Hubbard, TermCounts1D)
+{
+    // L-site ring: L edges (1 for L=2), each edge gives 4 hopping
+    // terms (2 spins x h.c.), plus L interaction terms.
+    const auto ring3 = fermiHubbard1D(3, 1.0, 4.0);
+    EXPECT_EQ(ring3.modes(), 6u);
+    EXPECT_EQ(ring3.fermionTerms().size(), 3u * 4u + 3u);
+
+    const auto ring2 = fermiHubbard1D(2, 1.0, 4.0);
+    EXPECT_EQ(ring2.fermionTerms().size(), 1u * 4u + 2u);
+}
+
+TEST(Hubbard, TermCounts2x2)
+{
+    const auto torus = fermiHubbard2x2(1.0, 4.0);
+    EXPECT_EQ(torus.modes(), 8u);
+    EXPECT_EQ(torus.fermionTerms().size(), 4u * 4u + 4u);
+}
+
+TEST(Hubbard, SpectrumOfTwoSites)
+{
+    // Two-site Hubbard: the global Fock ground energy is the
+    // minimum of the 1-electron bonding energy -t and the
+    // 2-electron singlet energy U/2 - sqrt((U/2)^2 + 4 t^2).
+    for (const double u : {1.0, 4.0}) {
+        const double t = 1.0;
+        const auto h = fermiHubbard1D(2, t, u);
+        const double e0 = groundEnergy(h);
+        const double singlet =
+            u / 2.0 -
+            std::sqrt((u / 2.0) * (u / 2.0) + 4.0 * t * t);
+        EXPECT_NEAR(e0, std::min(-t, singlet), 1e-9) << "U=" << u;
+    }
+}
+
+TEST(Hubbard, ConservesParticleNumber)
+{
+    const auto h = fermiHubbard1D(3, 1.0, 2.0);
+    const auto matrix = fockMatrix(h);
+    const std::size_t dim = std::size_t{1} << h.modes();
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            if (std::popcount(r) != std::popcount(c)) {
+                EXPECT_LT(std::abs(matrix[r * dim + c]), 1e-12);
+            }
+}
+
+TEST(Syk, TermCountIsChoose4)
+{
+    Rng rng(1);
+    const auto syk3 = sykModel(3, rng); // 6 Majoranas
+    EXPECT_EQ(syk3.majoranaTerms().size(), 15u); // C(6,4)
+    Rng rng2(2);
+    const auto syk5 = sykModel(5, rng2); // 10 Majoranas
+    EXPECT_EQ(syk5.majoranaTerms().size(), 210u); // C(10,4)
+}
+
+TEST(Syk, DeterministicInSeed)
+{
+    Rng a(7), b(7);
+    const auto first = sykModel(3, a);
+    const auto second = sykModel(3, b);
+    ASSERT_EQ(first.majoranaTerms().size(),
+              second.majoranaTerms().size());
+    for (std::size_t i = 0; i < first.majoranaTerms().size(); ++i) {
+        EXPECT_DOUBLE_EQ(first.majoranaTerms()[i].coefficient,
+                         second.majoranaTerms()[i].coefficient);
+    }
+}
+
+TEST(Syk, MatrixIsHermitian)
+{
+    Rng rng(3);
+    const auto syk = sykModel(3, rng);
+    const auto matrix = fockMatrix(syk);
+    const std::size_t dim = std::size_t{1} << syk.modes();
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            EXPECT_LT(std::abs(matrix[r * dim + c] -
+                               std::conj(matrix[c * dim + r])),
+                      1e-9);
+}
+
+TEST(SyntheticElectronic, HasDenseTermStructure)
+{
+    Rng rng(11);
+    const auto h = syntheticElectronicStructure(6, rng);
+    EXPECT_EQ(h.modes(), 6u);
+    // One-body: 3x3 orbital pairs x 2 spins; two-body: nonzero.
+    EXPECT_GT(h.fermionTerms().size(), 50u);
+    const auto matrix = fockMatrix(h);
+    const std::size_t dim = 64;
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            EXPECT_LT(std::abs(matrix[r * dim + c] -
+                               std::conj(matrix[c * dim + r])),
+                      1e-9);
+}
+
+TEST(SyntheticElectronic, RequiresEvenModes)
+{
+    Rng rng(1);
+    EXPECT_THROW(syntheticElectronicStructure(5, rng), PanicError);
+}
+
+} // namespace
+} // namespace fermihedral::fermion

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for Fermionic operator algebra and Majorana expansion.
+ *
+ * Correctness anchor: the Majorana expansion of a term, evaluated
+ * through the exact Fock-space Majorana action, must reproduce the
+ * direct Fock-space action of the creation/annihilation product.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <complex>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fermion/fock.h"
+#include "fermion/operators.h"
+
+namespace fermihedral::fermion {
+namespace {
+
+using Amp = std::complex<double>;
+
+TEST(MajoranaReduce, EmptySequence)
+{
+    const auto [mask, sign] = reduceMajoranaSequence({});
+    EXPECT_EQ(mask, 0u);
+    EXPECT_EQ(sign, 1);
+}
+
+TEST(MajoranaReduce, SquareIsIdentity)
+{
+    const std::uint32_t seq[] = {3, 3};
+    const auto [mask, sign] = reduceMajoranaSequence(seq);
+    EXPECT_EQ(mask, 0u);
+    EXPECT_EQ(sign, 1);
+}
+
+TEST(MajoranaReduce, SwapFlipsSign)
+{
+    const std::uint32_t seq[] = {2, 1};
+    const auto [mask, sign] = reduceMajoranaSequence(seq);
+    EXPECT_EQ(mask, 0b110u);
+    EXPECT_EQ(sign, -1);
+}
+
+TEST(MajoranaReduce, SandwichedPairPicksUpSign)
+{
+    // g1 g2 g1 = -g1 g1 g2 = -g2.
+    const std::uint32_t seq[] = {1, 2, 1};
+    const auto [mask, sign] = reduceMajoranaSequence(seq);
+    EXPECT_EQ(mask, 0b100u);
+    EXPECT_EQ(sign, -1);
+}
+
+TEST(MajoranaReduce, LongerPermutationParity)
+{
+    // (3,2,1,0): 6 inversions -> even -> +1.
+    const std::uint32_t seq[] = {3, 2, 1, 0};
+    const auto [mask, sign] = reduceMajoranaSequence(seq);
+    EXPECT_EQ(mask, 0b1111u);
+    EXPECT_EQ(sign, 1);
+}
+
+TEST(ExpandFermionTerm, NumberOperatorStructure)
+{
+    // a^dag_0 a_0 = (I - i g0 g1 ... ) /
+    //   expansion: 1/2 (I + i g0 g1) with our convention.
+    FermionTerm term{1.0, {create(0), annihilate(0)}};
+    const auto monomials = expandFermionTerm(term);
+    ASSERT_EQ(monomials.size(), 4u);
+    Amp identity{0, 0}, pair{0, 0};
+    for (const auto &mono : monomials) {
+        if (mono.mask == 0)
+            identity += mono.coefficient;
+        else if (mono.mask == 0b11)
+            pair += mono.coefficient;
+        else
+            FAIL() << "unexpected mask " << mono.mask;
+    }
+    EXPECT_NEAR(std::abs(identity - Amp{0.5, 0.0}), 0.0, 1e-12);
+    // a^dag a = (g0 - i g1)(g0 + i g1)/4 = (2I + i g0 g1 - i g1 g0)/4
+    //         = 1/2 I + i/2 g0 g1.
+    EXPECT_NEAR(std::abs(pair - Amp{0.0, 0.5}), 0.0, 1e-12);
+}
+
+TEST(ExpandFermionTerm, CountsArePowersOfTwo)
+{
+    FermionTerm quad{0.5,
+                     {create(0), create(1), annihilate(2),
+                      annihilate(3)}};
+    EXPECT_EQ(expandFermionTerm(quad).size(), 16u);
+}
+
+/**
+ * Property: the Majorana expansion reproduces the operator exactly
+ * on every Fock basis state.
+ */
+class ExpansionProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExpansionProperty, MatchesFockAction)
+{
+    const int modes = 3;
+    const int seed = GetParam();
+    Rng rng(seed);
+
+    // Random term with 1..4 distinct-mode operators.
+    const int num_ops = 1 + static_cast<int>(rng.nextBelow(4));
+    std::vector<FermionOp> ops;
+    for (int i = 0; i < num_ops; ++i) {
+        ops.push_back(FermionOp{
+            static_cast<std::uint32_t>(rng.nextBelow(modes)),
+            rng.nextBool()});
+    }
+    FermionTerm term{1.0, ops};
+    const auto monomials = expandFermionTerm(term);
+
+    const std::size_t dim = std::size_t{1} << modes;
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+        // Direct action.
+        std::vector<Amp> direct(dim, Amp{0, 0});
+        if (const auto image = applyFermionOps(term.ops, basis))
+            direct[image->bits] += image->sign;
+
+        // Expanded action.
+        std::vector<Amp> expanded(dim, Amp{0, 0});
+        for (const auto &mono : monomials) {
+            std::vector<std::uint32_t> indices;
+            for (int i = 0; i < 64; ++i) {
+                if ((mono.mask >> i) & 1)
+                    indices.push_back(i);
+            }
+            const auto image = applyMajoranaOps(indices, basis);
+            expanded[image.bits] += mono.coefficient *
+                                    image.amplitude;
+        }
+
+        for (std::uint64_t row = 0; row < dim; ++row) {
+            EXPECT_LT(std::abs(direct[row] - expanded[row]), 1e-12)
+                << "basis " << basis << " row " << row;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpansionProperty,
+                         ::testing::Range(0, 25));
+
+TEST(MajoranaStructure, NumberOperatorHasPairSubset)
+{
+    FermionHamiltonian h(2);
+    h.addFermionTerm(1.0, {create(0), annihilate(0)});
+    const auto structure = majoranaStructure(h);
+    ASSERT_EQ(structure.size(), 1u);
+    EXPECT_EQ(structure[0].mask, 0b11u);
+    EXPECT_EQ(structure[0].multiplicity, 2u);
+}
+
+TEST(MajoranaStructure, HoppingTermSubsets)
+{
+    // a^dag_0 a_1 expands over {g0,g1} x {g2,g3}: four products of
+    // two distinct-mode Majoranas, all with multiplicity 1.
+    FermionHamiltonian h(2);
+    h.addFermionTerm(1.0, {create(0), annihilate(1)});
+    const auto structure = majoranaStructure(h);
+    ASSERT_EQ(structure.size(), 4u);
+    for (const auto &subset : structure) {
+        EXPECT_EQ(std::popcount(subset.mask), 2);
+        EXPECT_EQ(subset.multiplicity, 1u);
+    }
+}
+
+TEST(MajoranaStructure, MajoranaTermsPassThrough)
+{
+    FermionHamiltonian h(3);
+    h.addMajoranaTerm(0.25, {0, 1, 2, 3});
+    h.addMajoranaTerm(0.5, {3, 2, 1, 0}); // same subset, reordered
+    const auto structure = majoranaStructure(h);
+    ASSERT_EQ(structure.size(), 1u);
+    EXPECT_EQ(structure[0].mask, 0b1111u);
+    EXPECT_EQ(structure[0].multiplicity, 2u);
+}
+
+TEST(FermionHamiltonian, RejectsOutOfRangeModes)
+{
+    FermionHamiltonian h(2);
+    EXPECT_THROW(h.addFermionTerm(1.0, {create(5)}), PanicError);
+    EXPECT_THROW(h.addMajoranaTerm(1.0, {7}), PanicError);
+}
+
+TEST(FockMatrix, AnticommutatorOfMajoranas)
+{
+    // {g_i, g_j} = 2 delta_ij on the full Fock space.
+    const int modes = 3;
+    const std::size_t dim = std::size_t{1} << modes;
+    for (std::uint32_t i = 0; i < 2 * modes; ++i) {
+        for (std::uint32_t j = i; j < 2 * modes; ++j) {
+            for (std::uint64_t basis = 0; basis < dim; ++basis) {
+                const std::uint32_t ij[] = {i, j};
+                const std::uint32_t ji[] = {j, i};
+                const auto a = applyMajoranaOps(ij, basis);
+                const auto b = applyMajoranaOps(ji, basis);
+                Amp sum{0, 0};
+                if (a.bits == basis)
+                    sum += a.amplitude;
+                if (b.bits == basis)
+                    sum += b.amplitude;
+                // Off-diagonal images must cancel pairwise.
+                if (a.bits != basis) {
+                    EXPECT_LT(std::abs(a.amplitude + b.amplitude),
+                              1e-12);
+                } else {
+                    const double expected = i == j ? 2.0 : 0.0;
+                    EXPECT_LT(std::abs(sum - expected), 1e-12);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace fermihedral::fermion

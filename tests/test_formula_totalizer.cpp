@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the Tseitin formula builder and the capped totalizer.
+ *
+ * Gate semantics are verified by enumerating input assignments via
+ * solver assumptions; totalizer bounds are verified by model
+ * counting against binomial expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "sat/formula.h"
+#include "sat/totalizer.h"
+
+namespace fermihedral::sat {
+namespace {
+
+/** Force the inputs to a fixed assignment through assumptions. */
+std::vector<Lit>
+assume(const std::vector<Lit> &inputs, std::uint64_t bits)
+{
+    std::vector<Lit> assumptions;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const bool value = (bits >> i) & 1;
+        assumptions.push_back(value ? inputs[i] : ~inputs[i]);
+    }
+    return assumptions;
+}
+
+TEST(Formula, AndGateTruthTable)
+{
+    for (std::uint64_t bits = 0; bits < 8; ++bits) {
+        Solver solver;
+        Formula formula(solver);
+        std::vector<Lit> in = {formula.newLit(), formula.newLit(),
+                               formula.newLit()};
+        const Lit y = formula.mkAnd(in);
+        auto assumptions = assume(in, bits);
+        assumptions.push_back(bits == 7 ? y : ~y);
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Sat);
+        // The opposite output value must be impossible.
+        assumptions.back() = ~assumptions.back();
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Unsat);
+    }
+}
+
+TEST(Formula, OrGateTruthTable)
+{
+    for (std::uint64_t bits = 0; bits < 8; ++bits) {
+        Solver solver;
+        Formula formula(solver);
+        std::vector<Lit> in = {formula.newLit(), formula.newLit(),
+                               formula.newLit()};
+        const Lit y = formula.mkOr(in);
+        auto assumptions = assume(in, bits);
+        assumptions.push_back(bits != 0 ? y : ~y);
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Sat);
+        assumptions.back() = ~assumptions.back();
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Unsat);
+    }
+}
+
+TEST(Formula, XorGateTruthTable)
+{
+    for (std::uint64_t bits = 0; bits < 4; ++bits) {
+        Solver solver;
+        Formula formula(solver);
+        const Lit a = formula.newLit();
+        const Lit b = formula.newLit();
+        const Lit y = formula.mkXor(a, b);
+        const bool expected = ((bits & 1) ^ ((bits >> 1) & 1)) != 0;
+        auto assumptions = assume({a, b}, bits);
+        assumptions.push_back(expected ? y : ~y);
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Sat);
+        assumptions.back() = ~assumptions.back();
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Unsat);
+    }
+}
+
+TEST(Formula, XorChainParity)
+{
+    for (std::uint64_t bits = 0; bits < 32; ++bits) {
+        Solver solver;
+        Formula formula(solver);
+        std::vector<Lit> in;
+        for (int i = 0; i < 5; ++i)
+            in.push_back(formula.newLit());
+        const Lit y = formula.mkXorChain(in);
+        const bool parity = std::popcount(bits) % 2 == 1;
+        auto assumptions = assume(in, bits);
+        assumptions.push_back(parity ? y : ~y);
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Sat);
+    }
+}
+
+TEST(Formula, AssertXorEqualsFiltersParity)
+{
+    for (const bool target : {false, true}) {
+        Solver solver;
+        Formula formula(solver);
+        std::vector<Lit> in;
+        for (int i = 0; i < 4; ++i)
+            in.push_back(formula.newLit());
+        formula.assertXorEquals(in, target);
+        for (std::uint64_t bits = 0; bits < 16; ++bits) {
+            const bool parity = std::popcount(bits) % 2 == 1;
+            const auto status = solver.solve(assume(in, bits));
+            EXPECT_EQ(status, parity == target
+                                  ? SolveStatus::Sat
+                                  : SolveStatus::Unsat)
+                << "bits=" << bits << " target=" << target;
+        }
+    }
+}
+
+TEST(Formula, ConstantsBehave)
+{
+    Solver solver;
+    Formula formula(solver);
+    const Lit t = formula.trueLit();
+    const Lit f = formula.falseLit();
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(t), LBool::True);
+    EXPECT_EQ(solver.modelValue(f), LBool::False);
+}
+
+TEST(Formula, EmptyGateEdgeCases)
+{
+    Solver solver;
+    Formula formula(solver);
+    const Lit empty_and = formula.mkAnd(std::span<const Lit>{});
+    const Lit empty_or = formula.mkOr(std::span<const Lit>{});
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(empty_and), LBool::True);
+    EXPECT_EQ(solver.modelValue(empty_or), LBool::False);
+}
+
+/** Totalizer bound property over (inputs, cap, bound) sweeps. */
+struct TotalizerParam
+{
+    int inputs;
+    int bound;
+};
+
+class TotalizerProperty
+    : public ::testing::TestWithParam<TotalizerParam>
+{
+};
+
+TEST_P(TotalizerProperty, BoundAdmitsExactlyLowAssignments)
+{
+    const auto param = GetParam();
+    Solver solver;
+    Formula formula(solver);
+    std::vector<Lit> in;
+    for (int i = 0; i < param.inputs; ++i)
+        in.push_back(formula.newLit());
+    Totalizer totalizer(solver, in, param.bound);
+    totalizer.boundAtMost(param.bound);
+
+    for (std::uint64_t bits = 0;
+         bits < (std::uint64_t{1} << param.inputs); ++bits) {
+        const int count = std::popcount(bits);
+        const auto status = solver.solve(assume(in, bits));
+        EXPECT_EQ(status, count <= param.bound
+                              ? SolveStatus::Sat
+                              : SolveStatus::Unsat)
+            << "bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TotalizerProperty,
+    ::testing::Values(TotalizerParam{1, 0}, TotalizerParam{4, 0},
+                      TotalizerParam{4, 2}, TotalizerParam{5, 1},
+                      TotalizerParam{6, 3}, TotalizerParam{7, 5},
+                      TotalizerParam{8, 4}, TotalizerParam{9, 2},
+                      TotalizerParam{10, 7}));
+
+TEST(Totalizer, AtLeastOutputsAreImplied)
+{
+    // With k inputs forced true, atLeast(j) must hold for j <= k.
+    const int n = 6;
+    Solver solver;
+    Formula formula(solver);
+    std::vector<Lit> in;
+    for (int i = 0; i < n; ++i)
+        in.push_back(formula.newLit());
+    Totalizer totalizer(solver, in, n);
+    for (int k = 1; k <= n; ++k) {
+        std::vector<Lit> assumptions =
+            assume(in, (std::uint64_t{1} << k) - 1);
+        for (int j = 1; j <= k; ++j)
+            assumptions.push_back(~totalizer.atLeast(j));
+        // Asserting NOT atLeast(j) for satisfied j conflicts.
+        EXPECT_EQ(solver.solve(assumptions), SolveStatus::Unsat)
+            << "k=" << k;
+    }
+}
+
+TEST(Totalizer, IncrementalTightening)
+{
+    const int n = 8;
+    Solver solver;
+    Formula formula(solver);
+    std::vector<Lit> in;
+    for (int i = 0; i < n; ++i)
+        in.push_back(formula.newLit());
+    Totalizer totalizer(solver, in, n);
+
+    // Require at least 3 true inputs via plain clauses: x0..x2 = 1.
+    for (int i = 0; i < 3; ++i)
+        solver.addUnit(in[i]);
+
+    for (int bound = n; bound >= 3; --bound) {
+        totalizer.boundAtMost(bound);
+        EXPECT_EQ(solver.solve(), SolveStatus::Sat)
+            << "bound=" << bound;
+    }
+    totalizer.boundAtMost(2);
+    EXPECT_EQ(solver.solve(), SolveStatus::Unsat);
+}
+
+TEST(Totalizer, CapSaturatesAboveBound)
+{
+    // A cap below the input count must still forbid sums > cap.
+    const int n = 10, cap = 3;
+    Solver solver;
+    Formula formula(solver);
+    std::vector<Lit> in;
+    for (int i = 0; i < n; ++i)
+        in.push_back(formula.newLit());
+    Totalizer totalizer(solver, in, cap);
+    totalizer.boundAtMost(cap);
+    // 4 forced-true inputs exceed the bound.
+    std::vector<Lit> assumptions;
+    for (int i = 0; i < 4; ++i)
+        assumptions.push_back(in[i]);
+    EXPECT_EQ(solver.solve(assumptions), SolveStatus::Unsat);
+    assumptions.pop_back();
+    EXPECT_EQ(solver.solve(assumptions), SolveStatus::Sat);
+}
+
+} // namespace
+} // namespace fermihedral::sat

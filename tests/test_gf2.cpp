@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for GF(2) linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/gf2.h"
+#include "common/rng.h"
+
+namespace fermihedral {
+namespace {
+
+TEST(BitVector, SetGetFlip)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.isZero());
+    v.set(0, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+    v.flip(129);
+    EXPECT_FALSE(v.get(129));
+    EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVector, XorIsElementwise)
+{
+    BitVector a(70), b(70);
+    a.set(3, true);
+    a.set(69, true);
+    b.set(3, true);
+    b.set(42, true);
+    a ^= b;
+    EXPECT_FALSE(a.get(3));
+    EXPECT_TRUE(a.get(42));
+    EXPECT_TRUE(a.get(69));
+}
+
+TEST(BitMatrix, IdentityActsTrivially)
+{
+    const auto id = BitMatrix::identity(8);
+    BitVector v(8);
+    v.set(2, true);
+    v.set(7, true);
+    EXPECT_EQ(id.multiply(v), v);
+    EXPECT_EQ(id.rank(), 8u);
+}
+
+TEST(BitMatrix, InverseOfIdentityIsIdentity)
+{
+    const auto id = BitMatrix::identity(5);
+    const auto inv = id.inverse();
+    ASSERT_TRUE(inv.has_value());
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(inv->get(r, c), r == c);
+}
+
+TEST(BitMatrix, SingularMatrixHasNoInverse)
+{
+    BitMatrix m(3, 3);
+    m.set(0, 0, true);
+    m.set(1, 0, true); // duplicate column pattern
+    EXPECT_FALSE(m.inverse().has_value());
+    EXPECT_LT(m.rank(), 3u);
+}
+
+TEST(BitMatrix, RankOfDependentRows)
+{
+    BitMatrix m(3, 4);
+    m.set(0, 0, true);
+    m.set(0, 1, true);
+    m.set(1, 1, true);
+    m.set(1, 2, true);
+    // Row 2 = row 0 xor row 1.
+    m.set(2, 0, true);
+    m.set(2, 2, true);
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(BitMatrix, TransposeRoundTrip)
+{
+    Rng rng(5);
+    BitMatrix m(6, 9);
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 9; ++c)
+            m.set(r, c, rng.nextBool());
+    const auto t = m.transposed();
+    ASSERT_EQ(t.rows(), 9u);
+    ASSERT_EQ(t.cols(), 6u);
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 9; ++c)
+            EXPECT_EQ(m.get(r, c), t.get(c, r));
+}
+
+/** Property: A * A^{-1} = I for random invertible matrices. */
+class Gf2InverseProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Gf2InverseProperty, InverseMultipliesToIdentity)
+{
+    const int n = GetParam();
+    Rng rng(1000 + n);
+    // Random invertible matrix: start from identity and apply row
+    // operations, which preserve invertibility.
+    BitMatrix m = BitMatrix::identity(n);
+    for (int step = 0; step < 5 * n; ++step) {
+        const auto a = rng.nextBelow(n);
+        const auto b = rng.nextBelow(n);
+        if (a != b)
+            m.row(a) ^= m.row(b);
+    }
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+
+    // Check A * (A^{-1} e_c) = e_c for every unit vector.
+    for (int c = 0; c < n; ++c) {
+        BitVector unit(n);
+        unit.set(c, true);
+        const BitVector x = inv->multiply(unit);
+        const BitVector back = m.multiply(x);
+        EXPECT_EQ(back, unit) << "column " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf2InverseProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21,
+                                           32));
+
+} // namespace
+} // namespace fermihedral

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo noise model and measurement sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/pauli_compiler.h"
+#include "common/rng.h"
+#include "sim/exact.h"
+#include "sim/noise.h"
+
+namespace fermihedral::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+Circuit
+ghzCircuit(std::size_t qubits)
+{
+    Circuit c(qubits);
+    c.add(GateKind::H, 0);
+    for (std::uint32_t q = 0; q + 1 < qubits; ++q)
+        c.addCnot(q, q + 1);
+    return c;
+}
+
+TEST(Noise, IdealTrajectoryIsDeterministic)
+{
+    Rng rng(1);
+    const Circuit c = ghzCircuit(3);
+    const StateVector initial(3);
+    const auto out =
+        runNoisyTrajectory(c, initial, NoiseModel::ideal(), rng);
+    StateVector expected(3);
+    expected.applyCircuit(c);
+    EXPECT_NEAR(out.fidelity(expected), 1.0, 1e-12);
+}
+
+TEST(Noise, DepolarizingReducesAverageFidelity)
+{
+    const Circuit c = ghzCircuit(4);
+    const StateVector initial(4);
+    StateVector expected(4);
+    expected.applyCircuit(c);
+
+    NoiseModel noisy;
+    noisy.singleQubitError = 0.02;
+    noisy.twoQubitError = 0.05;
+
+    Rng rng(2);
+    double fidelity_sum = 0.0;
+    const int trajectories = 300;
+    for (int t = 0; t < trajectories; ++t) {
+        const auto out = runNoisyTrajectory(c, initial, noisy, rng);
+        fidelity_sum += out.fidelity(expected);
+    }
+    const double average = fidelity_sum / trajectories;
+    EXPECT_LT(average, 0.98);
+    EXPECT_GT(average, 0.5);
+}
+
+TEST(Noise, HigherErrorRatesHurtMore)
+{
+    const Circuit c = ghzCircuit(4);
+    const StateVector initial(4);
+    StateVector expected(4);
+    expected.applyCircuit(c);
+
+    auto average_fidelity = [&](double p2, std::uint64_t seed) {
+        NoiseModel noise;
+        noise.twoQubitError = p2;
+        Rng rng(seed);
+        double sum = 0.0;
+        const int trajectories = 400;
+        for (int t = 0; t < trajectories; ++t)
+            sum += runNoisyTrajectory(c, initial, noise, rng)
+                       .fidelity(expected);
+        return sum / trajectories;
+    };
+    EXPECT_GT(average_fidelity(0.01, 3), average_fidelity(0.2, 4));
+}
+
+TEST(Noise, SampledEnergyIsUnbiased)
+{
+    // Energy of a GHZ state under a simple Hamiltonian: sampling
+    // many one-shot estimates must converge to the exact value.
+    const Circuit c = ghzCircuit(3);
+    StateVector state(3);
+    state.applyCircuit(c);
+
+    pauli::PauliSum h(3);
+    h.add(0.5, pauli::PauliString::fromLabel("ZZI"));
+    h.add(-1.5, pauli::PauliString::fromLabel("IZZ"));
+    h.add(0.25, pauli::PauliString::fromLabel("XXX"));
+    h.add(2.0, pauli::PauliString::fromLabel("III"));
+    h.simplify();
+    const double exact = state.expectation(h);
+
+    Rng rng(5);
+    double sum = 0.0;
+    const int shots = 4000;
+    for (int s = 0; s < shots; ++s)
+        sum += sampleEnergy(state, h, NoiseModel::ideal(), rng);
+    EXPECT_NEAR(sum / shots, exact, 0.05);
+}
+
+TEST(Noise, ReadoutErrorBiasesTowardZero)
+{
+    // <Z> of |0> is 1; readout flips shrink it to 1 - 2 p.
+    StateVector state(1);
+    pauli::PauliSum h(1);
+    h.add(1.0, pauli::PauliString::fromLabel("Z"));
+    h.simplify();
+
+    NoiseModel noise;
+    noise.readoutError = 0.2;
+    Rng rng(6);
+    double sum = 0.0;
+    const int shots = 20000;
+    for (int s = 0; s < shots; ++s)
+        sum += sampleEnergy(state, h, noise, rng);
+    EXPECT_NEAR(sum / shots, 1.0 - 2.0 * 0.2, 0.02);
+}
+
+TEST(Noise, MeasureEnergyStatisticsShape)
+{
+    const Circuit c = ghzCircuit(2);
+    const StateVector initial(2);
+    pauli::PauliSum h(2);
+    h.add(1.0, pauli::PauliString::fromLabel("ZZ"));
+    h.simplify();
+
+    Rng rng(7);
+    const auto stats = measureEnergy(c, initial, h,
+                                     NoiseModel::ideal(), 500, rng);
+    EXPECT_EQ(stats.shots, 500u);
+    // GHZ: ZZ is +1 always.
+    EXPECT_NEAR(stats.mean, 1.0, 1e-9);
+    EXPECT_NEAR(stats.standardDeviation, 0.0, 1e-9);
+}
+
+TEST(Noise, NoisyMeasurementIncreasesVariance)
+{
+    const Circuit c = ghzCircuit(3);
+    const StateVector initial(3);
+    pauli::PauliSum h(3);
+    h.add(1.0, pauli::PauliString::fromLabel("ZZI"));
+    h.add(1.0, pauli::PauliString::fromLabel("XXX"));
+    h.simplify();
+
+    Rng rng_a(8), rng_b(9);
+    const auto clean = measureEnergy(c, initial, h,
+                                     NoiseModel::ideal(), 400,
+                                     rng_a);
+    NoiseModel noisy = NoiseModel::ionqAria1();
+    const auto degraded =
+        measureEnergy(c, initial, h, noisy, 400, rng_b);
+    EXPECT_GE(degraded.standardDeviation,
+              clean.standardDeviation - 1e-9);
+    EXPECT_LT(degraded.mean, clean.mean + 1e-9);
+}
+
+TEST(Noise, IonqPresetMatchesPaperNumbers)
+{
+    const auto profile = NoiseModel::ionqAria1();
+    EXPECT_NEAR(profile.singleQubitError, 1e-4, 1e-9);
+    EXPECT_NEAR(profile.twoQubitError, 0.0109, 1e-9);
+    EXPECT_NEAR(profile.readoutError, 0.0118, 1e-9);
+}
+
+} // namespace
+} // namespace fermihedral::sim

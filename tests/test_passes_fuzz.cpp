@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Fuzz tests: the peephole optimizer must preserve the circuit's
+ * action (up to global phase, which the passes never introduce) on
+ * random circuits, and the SAT encoding model must stay valid
+ * across constraint configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/passes.h"
+#include "common/rng.h"
+#include "core/encoding_model.h"
+#include "encodings/encoding.h"
+#include "sim/statevector.h"
+
+namespace fermihedral {
+namespace {
+
+circuit::Circuit
+randomCircuit(std::size_t qubits, std::size_t gates, Rng &rng)
+{
+    using circuit::GateKind;
+    circuit::Circuit c(qubits);
+    for (std::size_t i = 0; i < gates; ++i) {
+        const auto q =
+            static_cast<std::uint32_t>(rng.nextBelow(qubits));
+        switch (rng.nextBelow(8)) {
+          case 0: c.add(GateKind::H, q); break;
+          case 1: c.add(GateKind::X, q); break;
+          case 2: c.add(GateKind::Z, q); break;
+          case 3: c.add(GateKind::S, q); break;
+          case 4: c.add(GateKind::Sdg, q); break;
+          case 5:
+            c.add(GateKind::Rz, q, rng.nextDouble(-7.0, 7.0));
+            break;
+          case 6:
+            c.add(GateKind::Rx, q, rng.nextDouble(-7.0, 7.0));
+            break;
+          default: {
+            auto t = static_cast<std::uint32_t>(
+                rng.nextBelow(qubits - 1));
+            if (t >= q)
+                ++t;
+            c.addCnot(q, t);
+          }
+        }
+    }
+    return c;
+}
+
+sim::StateVector
+randomState(std::size_t qubits, Rng &rng)
+{
+    std::vector<sim::Amplitude> amps(std::size_t{1} << qubits);
+    for (auto &amp : amps)
+        amp = sim::Amplitude(rng.nextGaussian(),
+                             rng.nextGaussian());
+    sim::StateVector psi(qubits, std::move(amps));
+    psi.normalize();
+    return psi;
+}
+
+class OptimizerFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OptimizerFuzz, PassesPreserveSemantics)
+{
+    Rng rng(7000 + GetParam());
+    const std::size_t qubits = 2 + rng.nextBelow(3);
+    const std::size_t gates = 10 + rng.nextBelow(120);
+    const auto original = randomCircuit(qubits, gates, rng);
+
+    circuit::Circuit optimized = original;
+    circuit::optimizeCircuit(optimized);
+    EXPECT_LE(optimized.size(), original.size());
+
+    const auto psi = randomState(qubits, rng);
+    sim::StateVector a = psi, b = psi;
+    a.applyCircuit(original);
+    b.applyCircuit(optimized);
+    // The passes only remove identity subsequences; no global
+    // phase is introduced, so amplitudes must match exactly.
+    double distance = 0.0;
+    for (std::size_t i = 0; i < a.dimension(); ++i)
+        distance += std::norm(a.amplitudes()[i] -
+                              b.amplitudes()[i]);
+    EXPECT_LT(std::sqrt(distance), 1e-9)
+        << "gates " << original.size() << " -> "
+        << optimized.size();
+}
+
+TEST_P(OptimizerFuzz, OptimizationIsIdempotent)
+{
+    Rng rng(8000 + GetParam());
+    auto c = randomCircuit(3, 60, rng);
+    circuit::optimizeCircuit(c);
+    const std::size_t once = c.size();
+    circuit::optimizeCircuit(c);
+    EXPECT_EQ(c.size(), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerFuzz,
+                         ::testing::Range(0, 25));
+
+/** Constraint-configuration sweep for the SAT encoding model. */
+struct ModelConfig
+{
+    int modes;
+    bool algebraic;
+    bool vacuum;
+};
+
+class EncodingModelSweep
+    : public ::testing::TestWithParam<ModelConfig>
+{
+};
+
+TEST_P(EncodingModelSweep, EveryModelDecodesValidEncoding)
+{
+    const auto param = GetParam();
+    sat::Solver solver;
+    core::EncodingModelOptions options;
+    options.modes = static_cast<std::size_t>(param.modes);
+    options.algebraicIndependence = param.algebraic;
+    options.vacuumPreservation = param.vacuum;
+    options.costCap = 4 * options.modes * options.modes;
+    core::EncodingModel model(solver, options);
+    ASSERT_EQ(solver.solve(), sat::SolveStatus::Sat);
+    const auto encoding = model.decode();
+    const auto v = enc::validateEncoding(encoding);
+    EXPECT_TRUE(v.anticommutativity) << v.detail;
+    if (param.algebraic) {
+        EXPECT_TRUE(v.algebraicIndependence) << v.detail;
+    }
+    if (param.vacuum) {
+        EXPECT_TRUE(v.xyPairing) << v.detail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EncodingModelSweep,
+    ::testing::Values(ModelConfig{1, true, true},
+                      ModelConfig{2, true, false},
+                      ModelConfig{2, false, true},
+                      ModelConfig{3, false, false},
+                      ModelConfig{3, true, true},
+                      ModelConfig{4, false, true},
+                      ModelConfig{4, false, false}));
+
+} // namespace
+} // namespace fermihedral

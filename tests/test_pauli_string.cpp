@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit and property tests for Pauli strings.
+ *
+ * The load-bearing property test cross-checks the symbolic algebra
+ * (products, phases, commutation, basis action) against explicit
+ * dense matrices built from the 2x2 Pauli definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+
+namespace fermihedral::pauli {
+namespace {
+
+using Amp = std::complex<double>;
+using Matrix = std::vector<Amp>; // row-major, square
+
+/** Dense matrix of a single Pauli operator. */
+Matrix
+opMatrix(PauliOp op)
+{
+    const Amp i{0.0, 1.0};
+    switch (op) {
+      case PauliOp::I: return {1, 0, 0, 1};
+      case PauliOp::X: return {0, 1, 1, 0};
+      case PauliOp::Y: return {0, -i, i, 0};
+      case PauliOp::Z: return {1, 0, 0, -1};
+    }
+    return {};
+}
+
+Matrix
+kronecker(const Matrix &a, std::size_t da, const Matrix &b,
+          std::size_t db)
+{
+    Matrix out(da * db * da * db);
+    for (std::size_t ra = 0; ra < da; ++ra)
+        for (std::size_t ca = 0; ca < da; ++ca)
+            for (std::size_t rb = 0; rb < db; ++rb)
+                for (std::size_t cb = 0; cb < db; ++cb)
+                    out[(ra * db + rb) * (da * db) + (ca * db + cb)] =
+                        a[ra * da + ca] * b[rb * db + cb];
+    return out;
+}
+
+/** Dense matrix of a full Pauli string (highest qubit leftmost). */
+Matrix
+stringMatrix(const PauliString &p)
+{
+    Matrix acc = {1.0};
+    std::size_t dim = 1;
+    for (std::size_t q = p.numQubits(); q-- > 0;) {
+        acc = kronecker(acc, dim, opMatrix(p.op(q)), 2);
+        dim *= 2;
+    }
+    for (auto &entry : acc)
+        entry *= p.phaseFactor();
+    return acc;
+}
+
+Matrix
+multiply(const Matrix &a, const Matrix &b, std::size_t dim)
+{
+    Matrix out(dim * dim, Amp{0, 0});
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t k = 0; k < dim; ++k)
+            for (std::size_t c = 0; c < dim; ++c)
+                out[r * dim + c] += a[r * dim + k] * b[k * dim + c];
+    return out;
+}
+
+bool
+approxEqual(const Matrix &a, const Matrix &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::abs(a[i] - b[i]) > 1e-9)
+            return false;
+    return true;
+}
+
+PauliString
+randomString(std::size_t qubits, Rng &rng)
+{
+    PauliString p(qubits);
+    for (std::size_t q = 0; q < qubits; ++q)
+        p.setOp(q, static_cast<PauliOp>(rng.nextBelow(4)));
+    return p.withPhase(static_cast<int>(rng.nextBelow(4)));
+}
+
+TEST(PauliString, LabelRoundTrip)
+{
+    for (const char *label : {"XYZI", "IIII", "ZZ", "X", "YXZZY"}) {
+        EXPECT_EQ(PauliString::fromLabel(label).label(), label);
+    }
+}
+
+TEST(PauliString, PhasePrefixParsing)
+{
+    EXPECT_EQ(PauliString::fromLabel("-XX").phaseExp(), 2);
+    EXPECT_EQ(PauliString::fromLabel("iZ").phaseExp(), 1);
+    EXPECT_EQ(PauliString::fromLabel("-iY").phaseExp(), 3);
+    EXPECT_EQ(PauliString::fromLabel("-iY").label(), "-iY");
+}
+
+TEST(PauliString, QubitOrderConvention)
+{
+    // Leftmost label char is the highest qubit (paper convention).
+    const auto p = PauliString::fromLabel("XYZ");
+    EXPECT_EQ(p.op(2), PauliOp::X);
+    EXPECT_EQ(p.op(1), PauliOp::Y);
+    EXPECT_EQ(p.op(0), PauliOp::Z);
+}
+
+TEST(PauliString, WeightCountsNonIdentity)
+{
+    EXPECT_EQ(PauliString::fromLabel("IIXX").weight(), 2u);
+    EXPECT_EQ(PauliString::fromLabel("IIII").weight(), 0u);
+    EXPECT_EQ(PauliString::fromLabel("XYZZ").weight(), 4u);
+}
+
+TEST(PauliString, PaperAnticommutationExamples)
+{
+    // Section 3.3: XX and YY commute; XXX and YYY anticommute.
+    const auto xx = PauliString::fromLabel("XX");
+    const auto yy = PauliString::fromLabel("YY");
+    EXPECT_TRUE(xx.commutesWith(yy));
+    const auto xxx = PauliString::fromLabel("XXX");
+    const auto yyy = PauliString::fromLabel("YYY");
+    EXPECT_TRUE(xxx.anticommutesWith(yyy));
+}
+
+TEST(PauliString, SingleOperatorProducts)
+{
+    // X*Y = iZ and friends.
+    const auto x = PauliString::fromLabel("X");
+    const auto y = PauliString::fromLabel("Y");
+    const auto z = PauliString::fromLabel("Z");
+    EXPECT_EQ((x * y).label(), "iZ");
+    EXPECT_EQ((y * x).label(), "-iZ");
+    EXPECT_EQ((y * z).label(), "iX");
+    EXPECT_EQ((z * x).label(), "iY");
+    EXPECT_EQ((x * x).label(), "I");
+}
+
+TEST(PauliString, AdjointConjugatesPhase)
+{
+    const auto p = PauliString::fromLabel("iXY");
+    EXPECT_EQ(p.adjoint().phaseExp(), 3);
+    const auto q = PauliString::fromLabel("-ZZ");
+    EXPECT_EQ(q.adjoint().phaseExp(), 2);
+}
+
+TEST(PauliString, ApplyToBasisMatchesDefinition)
+{
+    // Y|0> = i|1>, Y|1> = -i|0>.
+    const auto y = PauliString::fromLabel("Y");
+    const auto on0 = y.applyToBasis(0);
+    EXPECT_EQ(on0.bits, 1u);
+    EXPECT_EQ(on0.amplitude(), (Amp{0, 1}));
+    const auto on1 = y.applyToBasis(1);
+    EXPECT_EQ(on1.bits, 0u);
+    EXPECT_EQ(on1.amplitude(), (Amp{0, -1}));
+}
+
+TEST(PauliString, ProductWeightMatchesProduct)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = randomString(5, rng);
+        const auto b = randomString(5, rng);
+        EXPECT_EQ(productWeight(a, b), (a * b).weight());
+    }
+}
+
+TEST(PauliString, HashDistinguishesPhases)
+{
+    const auto a = PauliString::fromLabel("XY");
+    const auto b = PauliString::fromLabel("-XY");
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(a.bareEquals(b));
+}
+
+/** Property suite over random string pairs of a given width. */
+class PauliMatrixProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PauliMatrixProperty, ProductMatchesMatrixProduct)
+{
+    const int qubits = GetParam();
+    const std::size_t dim = std::size_t{1} << qubits;
+    Rng rng(77 + qubits);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto a = randomString(qubits, rng);
+        const auto b = randomString(qubits, rng);
+        const auto product = a * b;
+        const auto lhs = stringMatrix(product);
+        const auto rhs =
+            multiply(stringMatrix(a), stringMatrix(b), dim);
+        EXPECT_TRUE(approxEqual(lhs, rhs))
+            << a.label() << " * " << b.label() << " != "
+            << product.label();
+    }
+}
+
+TEST_P(PauliMatrixProperty, AnticommutationMatchesMatrices)
+{
+    const int qubits = GetParam();
+    const std::size_t dim = std::size_t{1} << qubits;
+    Rng rng(177 + qubits);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto a = randomString(qubits, rng);
+        const auto b = randomString(qubits, rng);
+        const auto ab = multiply(stringMatrix(a), stringMatrix(b),
+                                 dim);
+        const auto ba = multiply(stringMatrix(b), stringMatrix(a),
+                                 dim);
+        double anti_norm = 0.0;
+        for (std::size_t i = 0; i < ab.size(); ++i)
+            anti_norm += std::abs(ab[i] + ba[i]);
+        const bool matrices_anticommute = anti_norm < 1e-9;
+        EXPECT_EQ(a.anticommutesWith(b), matrices_anticommute)
+            << a.label() << " vs " << b.label();
+    }
+}
+
+TEST_P(PauliMatrixProperty, BasisActionMatchesMatrix)
+{
+    const int qubits = GetParam();
+    const std::size_t dim = std::size_t{1} << qubits;
+    Rng rng(277 + qubits);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto p = randomString(qubits, rng);
+        const auto matrix = stringMatrix(p);
+        for (std::uint64_t basis = 0; basis < dim; ++basis) {
+            const auto image = p.applyToBasis(basis);
+            // Column `basis` of the matrix must be the image.
+            for (std::uint64_t row = 0; row < dim; ++row) {
+                const Amp expected = row == image.bits
+                                         ? image.amplitude()
+                                         : Amp{0, 0};
+                EXPECT_LT(std::abs(matrix[row * dim + basis] -
+                                   expected),
+                          1e-9);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PauliMatrixProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace fermihedral::pauli

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for PauliSum.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "pauli/pauli_sum.h"
+
+namespace fermihedral::pauli {
+namespace {
+
+TEST(PauliSum, SimplifyCombinesEqualTensors)
+{
+    PauliSum sum(2);
+    sum.add(1.0, PauliString::fromLabel("XZ"));
+    sum.add(2.5, PauliString::fromLabel("XZ"));
+    sum.add(1.0, PauliString::fromLabel("ZZ"));
+    sum.simplify();
+    ASSERT_EQ(sum.size(), 2u);
+    EXPECT_DOUBLE_EQ(sum.terms()[1].coefficient.real(), 3.5);
+}
+
+TEST(PauliSum, SimplifyDropsCancelledTerms)
+{
+    PauliSum sum(1);
+    sum.add(1.0, PauliString::fromLabel("X"));
+    sum.add(-1.0, PauliString::fromLabel("X"));
+    sum.simplify();
+    EXPECT_EQ(sum.size(), 0u);
+}
+
+TEST(PauliSum, PhaseFoldsIntoCoefficient)
+{
+    PauliSum sum(1);
+    // 2 * (iX) folds to 2i * X; adding another 2i * X gives 4i * X.
+    sum.add(2.0, PauliString::fromLabel("iX"));
+    sum.add(std::complex<double>(0.0, 2.0),
+            PauliString::fromLabel("X"));
+    sum.simplify();
+    ASSERT_EQ(sum.size(), 1u);
+    EXPECT_NEAR(sum.terms()[0].coefficient.imag(), 4.0, 1e-12)
+        << sum.toString();
+    // And 2 * (iX) plus -2i * X cancels exactly.
+    PauliSum zero(1);
+    zero.add(2.0, PauliString::fromLabel("iX"));
+    zero.add(std::complex<double>(0.0, -2.0),
+             PauliString::fromLabel("X"));
+    zero.simplify();
+    EXPECT_EQ(zero.size(), 0u);
+}
+
+TEST(PauliSum, TotalWeight)
+{
+    PauliSum sum(3);
+    sum.add(1.0, PauliString::fromLabel("XIZ")); // weight 2
+    sum.add(1.0, PauliString::fromLabel("III")); // weight 0
+    sum.add(1.0, PauliString::fromLabel("YYY")); // weight 3
+    sum.simplify();
+    EXPECT_EQ(sum.totalWeight(), 5u);
+}
+
+TEST(PauliSum, HermitianDetection)
+{
+    PauliSum sum(1);
+    sum.add(1.0, PauliString::fromLabel("X"));
+    EXPECT_TRUE(sum.isHermitian());
+    sum.add(std::complex<double>(0.0, 0.5),
+            PauliString::fromLabel("Z"));
+    EXPECT_FALSE(sum.isHermitian());
+    EXPECT_NEAR(sum.maxImaginaryMagnitude(), 0.5, 1e-12);
+}
+
+TEST(PauliSum, ScaleMultipliesCoefficients)
+{
+    PauliSum sum(1);
+    sum.add(2.0, PauliString::fromLabel("Z"));
+    sum.scale(-0.5);
+    EXPECT_DOUBLE_EQ(sum.terms()[0].coefficient.real(), -1.0);
+}
+
+TEST(PauliSum, AddSumMergesTermLists)
+{
+    PauliSum a(1), b(1);
+    a.add(1.0, PauliString::fromLabel("X"));
+    b.add(1.0, PauliString::fromLabel("X"));
+    b.add(1.0, PauliString::fromLabel("Z"));
+    a.add(b);
+    a.simplify();
+    ASSERT_EQ(a.size(), 2u);
+    for (const auto &term : a.terms()) {
+        const double expected =
+            term.string.label() == "X" ? 2.0 : 1.0;
+        EXPECT_DOUBLE_EQ(term.coefficient.real(), expected);
+    }
+}
+
+TEST(PauliSum, WidthMismatchPanics)
+{
+    PauliSum sum(2);
+    EXPECT_THROW(sum.add(1.0, PauliString::fromLabel("X")),
+                 PanicError);
+}
+
+} // namespace
+} // namespace fermihedral::pauli

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fermihedral {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ZeroSeedIsHealthy)
+{
+    Rng rng(0);
+    std::uint64_t all_or = 0;
+    for (int i = 0; i < 64; ++i)
+        all_or |= rng.next();
+    EXPECT_NE(all_or, 0u);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(7);
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[rng.nextBelow(5)];
+    for (int residue = 0; residue < 5; ++residue)
+        EXPECT_GT(counts[residue], 800) << "residue " << residue;
+}
+
+TEST(Rng, NextIntInclusiveBounds)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const int samples = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / samples;
+    const double var = sum_sq / samples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / double(samples), 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(21);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 4);
+}
+
+} // namespace
+} // namespace fermihedral

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT solver.
+ *
+ * The property suite cross-checks SAT/UNSAT answers on random 3-SAT
+ * instances against exhaustive enumeration, which exercises
+ * propagation, conflict analysis, learning and restarts end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sat/solver.h"
+
+namespace fermihedral::sat {
+namespace {
+
+/** Exhaustive truth-table check of a CNF over <= 24 variables. */
+bool
+bruteForceSat(std::size_t num_vars,
+              const std::vector<std::vector<Lit>> &clauses)
+{
+    for (std::uint64_t assignment = 0;
+         assignment < (std::uint64_t{1} << num_vars); ++assignment) {
+        bool all_satisfied = true;
+        for (const auto &clause : clauses) {
+            bool satisfied = false;
+            for (const Lit lit : clause) {
+                const bool value =
+                    (assignment >> litVar(lit)) & 1;
+                if (value != litSign(lit)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied) {
+                all_satisfied = false;
+                break;
+            }
+        }
+        if (all_satisfied)
+            return true;
+    }
+    return false;
+}
+
+TEST(SatSolver, EmptyFormulaIsSat)
+{
+    Solver solver;
+    solver.newVar();
+    EXPECT_EQ(solver.solve(), SolveStatus::Sat);
+}
+
+TEST(SatSolver, UnitClausesPropagate)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    solver.addUnit(mkLit(a));
+    solver.addBinary(~mkLit(a), mkLit(b));
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(a), LBool::True);
+    EXPECT_EQ(solver.modelValue(b), LBool::True);
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    solver.addUnit(mkLit(a));
+    solver.addUnit(~mkLit(a));
+    EXPECT_TRUE(solver.inconsistent());
+    EXPECT_EQ(solver.solve(), SolveStatus::Unsat);
+}
+
+TEST(SatSolver, TautologyClausesAreIgnored)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    solver.addClause({mkLit(a), ~mkLit(a)});
+    EXPECT_EQ(solver.numClauses(), 0u);
+    EXPECT_EQ(solver.solve(), SolveStatus::Sat);
+}
+
+TEST(SatSolver, XorChainForcesUniqueModel)
+{
+    // a xor b = 1, a = 1 ==> b = 0, encoded directly in CNF.
+    Solver solver;
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    solver.addBinary(mkLit(a), mkLit(b));
+    solver.addBinary(~mkLit(a), ~mkLit(b));
+    solver.addUnit(mkLit(a));
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(b), LBool::False);
+}
+
+/** Pigeonhole principle PHP(n+1, n): always UNSAT, needs search. */
+void
+addPigeonhole(Solver &solver, int holes)
+{
+    const int pigeons = holes + 1;
+    std::vector<std::vector<Var>> at(
+        pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            at[p][h] = solver.newVar();
+    // Every pigeon sits somewhere.
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(at[p][h]));
+        solver.addClause(clause);
+    }
+    // No two pigeons share a hole.
+    for (int h = 0; h < holes; ++h)
+        for (int p = 0; p < pigeons; ++p)
+            for (int q = p + 1; q < pigeons; ++q)
+                solver.addBinary(~mkLit(at[p][h]),
+                                 ~mkLit(at[q][h]));
+}
+
+TEST(SatSolver, PigeonholeIsUnsat)
+{
+    for (int holes : {2, 3, 4, 5}) {
+        Solver solver;
+        addPigeonhole(solver, holes);
+        EXPECT_EQ(solver.solve(), SolveStatus::Unsat)
+            << "PHP with " << holes << " holes";
+    }
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown)
+{
+    Solver solver;
+    addPigeonhole(solver, 8); // hard enough to exceed 10 conflicts
+    Budget budget;
+    budget.maxConflicts = 10;
+    EXPECT_EQ(solver.solve({}, budget), SolveStatus::Unknown);
+    // And the solver remains usable afterwards.
+    EXPECT_EQ(solver.solve(), SolveStatus::Unsat);
+}
+
+TEST(SatSolver, AssumptionsRestrictModels)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    solver.addBinary(mkLit(a), mkLit(b));
+    const Lit assume[] = {~mkLit(a)};
+    ASSERT_EQ(solver.solve(assume), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(b), LBool::True);
+
+    const Lit bad[] = {~mkLit(a), ~mkLit(b)};
+    EXPECT_EQ(solver.solve(bad), SolveStatus::Unsat);
+
+    // Assumptions are not permanent.
+    EXPECT_EQ(solver.solve(), SolveStatus::Sat);
+}
+
+TEST(SatSolver, IncrementalClauseAddition)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    solver.addBinary(mkLit(a), mkLit(b));
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    solver.addUnit(~mkLit(a));
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(b), LBool::True);
+    solver.addUnit(~mkLit(b));
+    EXPECT_EQ(solver.solve(), SolveStatus::Unsat);
+}
+
+TEST(SatSolver, PolarityHintIsFollowedWhenFree)
+{
+    Solver solver;
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    solver.addBinary(mkLit(a), mkLit(b)); // either suffices
+    solver.setPolarity(a, false);
+    solver.setPolarity(b, true);
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(a), LBool::False);
+    EXPECT_EQ(solver.modelValue(b), LBool::True);
+}
+
+/** Random 3-SAT at a given clause/variable ratio (x10). */
+struct RandomSatParam
+{
+    int numVars;
+    int ratioTimes10;
+};
+
+class RandomSatProperty
+    : public ::testing::TestWithParam<RandomSatParam>
+{
+};
+
+TEST_P(RandomSatProperty, AgreesWithBruteForce)
+{
+    const auto param = GetParam();
+    Rng rng(9000 + param.numVars * 100 + param.ratioTimes10);
+    const int clauses = param.numVars * param.ratioTimes10 / 10;
+
+    for (int instance = 0; instance < 20; ++instance) {
+        Solver solver;
+        std::vector<std::vector<Lit>> cnf;
+        for (int v = 0; v < param.numVars; ++v)
+            solver.newVar();
+        for (int c = 0; c < clauses; ++c) {
+            std::vector<Lit> clause;
+            for (int k = 0; k < 3; ++k) {
+                const Var var = static_cast<Var>(
+                    rng.nextBelow(param.numVars));
+                clause.push_back(mkLit(var, rng.nextBool()));
+            }
+            cnf.push_back(clause);
+            solver.addClause(clause);
+        }
+        const bool expected =
+            bruteForceSat(param.numVars, cnf);
+        const SolveStatus status = solver.solve();
+        EXPECT_EQ(status, expected ? SolveStatus::Sat
+                                   : SolveStatus::Unsat)
+            << "instance " << instance;
+
+        if (status == SolveStatus::Sat) {
+            // The produced model must actually satisfy the CNF.
+            for (const auto &clause : cnf) {
+                bool satisfied = false;
+                for (const Lit lit : clause)
+                    satisfied |=
+                        solver.modelValue(lit) == LBool::True;
+                EXPECT_TRUE(satisfied);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, RandomSatProperty,
+    ::testing::Values(RandomSatParam{6, 30}, RandomSatParam{8, 43},
+                      RandomSatParam{10, 43}, RandomSatParam{12, 50},
+                      RandomSatParam{14, 43},
+                      RandomSatParam{16, 45}));
+
+} // namespace
+} // namespace fermihedral::sat

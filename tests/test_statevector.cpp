@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the dense state-vector simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace fermihedral::sim {
+namespace {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+TEST(StateVector, StartsInZeroState)
+{
+    StateVector psi(3);
+    EXPECT_EQ(psi.dimension(), 8u);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[0] - 1.0), 0.0, 1e-15);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition)
+{
+    StateVector psi(1);
+    psi.applyGate({GateKind::H, 0, 0, 0.0});
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[0] - r), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[1] - r), 0.0, 1e-12);
+}
+
+TEST(StateVector, PauliGateAlgebra)
+{
+    // HZH = X as an action on |0>.
+    StateVector a(1), b(1);
+    a.applyGate({GateKind::H, 0, 0, 0.0});
+    a.applyGate({GateKind::Z, 0, 0, 0.0});
+    a.applyGate({GateKind::H, 0, 0, 0.0});
+    b.applyGate({GateKind::X, 0, 0, 0.0});
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, SSquaredIsZ)
+{
+    StateVector a(1), b(1);
+    a.applyGate({GateKind::H, 0, 0, 0.0});
+    b.applyGate({GateKind::H, 0, 0, 0.0});
+    a.applyGate({GateKind::S, 0, 0, 0.0});
+    a.applyGate({GateKind::S, 0, 0, 0.0});
+    b.applyGate({GateKind::Z, 0, 0, 0.0});
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, RotationsMatchAxisDefinitions)
+{
+    // Rx(pi) |0> = -i |1>; Ry(pi) |0> = |1>; Rz leaves |0> alone.
+    StateVector x(1);
+    x.applyGate({GateKind::Rx, 0, 0, M_PI});
+    EXPECT_NEAR(std::abs(x.amplitudes()[1] -
+                         std::complex<double>(0, -1)),
+                0.0, 1e-12);
+    StateVector y(1);
+    y.applyGate({GateKind::Ry, 0, 0, M_PI});
+    EXPECT_NEAR(std::abs(y.amplitudes()[1] - 1.0), 0.0, 1e-12);
+    StateVector z(1);
+    z.applyGate({GateKind::Rz, 0, 0, 1.23});
+    EXPECT_NEAR(std::norm(z.amplitudes()[0]), 1.0, 1e-12);
+}
+
+TEST(StateVector, CnotEntangles)
+{
+    StateVector psi(2);
+    psi.applyGate({GateKind::H, 0, 0, 0.0});
+    psi.applyGate({GateKind::Cnot, 0, 1, 0.0});
+    // Bell state (|00> + |11>)/sqrt(2).
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[0] - r), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[3] - r), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(psi.amplitudes()[1]), 0.0, 1e-12);
+}
+
+TEST(StateVector, ApplyPauliMatchesGates)
+{
+    Rng rng(4);
+    StateVector a(3), b(3);
+    // Random product state.
+    for (std::uint32_t q = 0; q < 3; ++q) {
+        const double angle = rng.nextDouble(0, M_PI);
+        a.applyGate({GateKind::Ry, q, 0, angle});
+        b.applyGate({GateKind::Ry, q, 0, angle});
+    }
+    a.applyPauli(pauli::PauliString::fromLabel("XZY"));
+    b.applyGate({GateKind::Y, 0, 0, 0.0});
+    b.applyGate({GateKind::Z, 1, 0, 0.0});
+    b.applyGate({GateKind::X, 2, 0, 0.0});
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationOfZOnBasisStates)
+{
+    StateVector psi(2);
+    const auto zi = pauli::PauliString::fromLabel("ZI");
+    const auto iz = pauli::PauliString::fromLabel("IZ");
+    EXPECT_NEAR(psi.expectation(zi).real(), 1.0, 1e-12);
+    psi.setBasisState(0b10); // qubit 1 set
+    EXPECT_NEAR(psi.expectation(zi).real(), -1.0, 1e-12);
+    EXPECT_NEAR(psi.expectation(iz).real(), 1.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationOfSumIsLinear)
+{
+    StateVector psi(2);
+    psi.applyGate({GateKind::H, 0, 0, 0.0});
+    pauli::PauliSum sum(2);
+    sum.add(0.5, pauli::PauliString::fromLabel("IZ")); // <IZ> = 0
+    sum.add(2.0, pauli::PauliString::fromLabel("IX")); // <IX> = 1
+    sum.add(3.0, pauli::PauliString::fromLabel("II"));
+    EXPECT_NEAR(psi.expectation(sum), 5.0, 1e-12);
+}
+
+TEST(StateVector, SamplingFollowsBornRule)
+{
+    StateVector psi(1);
+    psi.applyGate({GateKind::Ry, 0, 0, 2.0 * std::acos(
+        std::sqrt(0.75))}); // P(0) = 0.75
+    Rng rng(9);
+    int zeros = 0;
+    const int shots = 20000;
+    for (int s = 0; s < shots; ++s)
+        zeros += psi.sampleBasisState(rng) == 0;
+    EXPECT_NEAR(zeros / double(shots), 0.75, 0.02);
+}
+
+TEST(StateVector, NormPreservedByCircuits)
+{
+    Rng rng(12);
+    StateVector psi(4);
+    circuit::Circuit c(4);
+    for (int i = 0; i < 50; ++i) {
+        const auto q = static_cast<std::uint32_t>(rng.nextBelow(4));
+        switch (rng.nextBelow(4)) {
+          case 0: c.add(GateKind::H, q); break;
+          case 1: c.add(GateKind::Rz, q, rng.nextDouble(0, 6)); break;
+          case 2: c.add(GateKind::S, q); break;
+          default: {
+            auto t = static_cast<std::uint32_t>(rng.nextBelow(3));
+            if (t >= q)
+                ++t;
+            c.addCnot(q, t);
+          }
+        }
+    }
+    psi.applyCircuit(c);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-10);
+}
+
+} // namespace
+} // namespace fermihedral::sim
