@@ -80,8 +80,13 @@ main(int argc, char **argv)
                 const auto stats = sim::measureEnergy(
                     entry.circuit, initial, entry.qubit_h, noise,
                     static_cast<std::size_t>(*shots), rng);
+                // Avoid operator+(const char*, string&&): GCC 12's
+                // -Wrestrict false positive (PR 105651) fires on it
+                // at -O2 and above.
+                std::string state_label = "E";
+                state_label += std::to_string(level);
                 table.addRow(
-                    {"E" + std::to_string(level),
+                    {std::move(state_label),
                      Table::num(error, 4), entry.name,
                      Table::num(stats.mean, 4),
                      Table::num(stats.standardDeviation, 4),

@@ -5,6 +5,15 @@
  * The gate set is what the Pauli-evolution compiler emits (Fig. 3):
  * single-qubit Cliffords, Z/X/Y rotations and CNOT. Gate counts and
  * ASAP depth reproduce the Table 6 metrics.
+ *
+ * Key invariants:
+ *  - Every stored Gate has qubit indices < numQubits() (checked on
+ *    append) and an angle only when isRotation(kind).
+ *  - A Circuit is a flat ordered gate list — no implicit
+ *    reordering; passes that reorder/remove gates live in
+ *    passes.h and must preserve the unitary.
+ *  - costs() is pure: CNOT count, single-qubit count and ASAP
+ *    depth are derived from the list without modifying it.
  */
 
 #ifndef FERMIHEDRAL_CIRCUIT_CIRCUIT_H

@@ -6,6 +6,14 @@
  * paper's Table 6: cancel adjacent self-inverse pairs (H/X/Y/Z,
  * CNOT-CNOT, S-Sdg), merge adjacent equal-axis rotations, and drop
  * rotations by multiples of 2 pi. Passes run to a fixpoint.
+ *
+ * Key invariants:
+ *  - Passes preserve the implemented unitary up to global phase;
+ *    "adjacent" means adjacent on the gates' qubits (gates on
+ *    disjoint qubits commute past each other).
+ *  - optimizeCircuit() terminates: every rewrite strictly removes
+ *    gates, so the fixpoint is reached in at most size() rounds.
+ *  - The qubit count never changes; only the gate list shrinks.
  */
 
 #ifndef FERMIHEDRAL_CIRCUIT_PASSES_H

@@ -8,6 +8,17 @@
  * maximises gate cancellation between adjacent evolution blocks
  * (standing in for the Paulihedral + Qiskit-L3 stack the paper uses
  * for Table 6).
+ *
+ * Key invariants:
+ *  - appendPauliEvolution() requires a real tracked phase (i^0 or
+ *    i^2); the sign folds into the rotation angle, so the emitted
+ *    circuit equals exp(i theta P) exactly (identity strings emit
+ *    nothing — a global phase).
+ *  - compileTrotter() emits one evolution block per non-identity
+ *    term per step; term ordering and peephole passes change gate
+ *    counts but never the implemented unitary.
+ *  - orderTerms() returns a permutation of the sum's terms —
+ *    nothing is dropped, merged or rescaled.
  */
 
 #ifndef FERMIHEDRAL_CIRCUIT_PAULI_COMPILER_H

@@ -3,6 +3,14 @@
  * OpenQASM 2.0 export for compiled circuits, so encodings found by
  * this library can be executed on real backends (the paper's IonQ
  * study submitted such circuits through Amazon Braket).
+ *
+ * Key invariants:
+ *  - Output is self-contained OpenQASM 2.0 (header, qelib1
+ *    include, one qreg; plus a creg and measurements when
+ *    requested) and covers the full GateKind set — every circuit
+ *    this library can build is exportable.
+ *  - Gates are emitted in list order; rotation angles print with
+ *    enough digits to round-trip a double.
  */
 
 #ifndef FERMIHEDRAL_CIRCUIT_QASM_H

@@ -89,12 +89,19 @@ FlagSet::find(const std::string &name)
 void
 FlagSet::assign(Flag &flag, const std::string &text)
 {
+    char *end = nullptr;
     switch (flag.kind) {
       case Kind::Int:
-        flag.intValue = std::strtoll(text.c_str(), nullptr, 10);
+        flag.intValue = std::strtoll(text.c_str(), &end, 10);
+        if (text.empty() || *end != '\0')
+            fatal("flag '--", flag.name, "' expects an integer, got '",
+                  text, "'");
         break;
       case Kind::Double:
-        flag.doubleValue = std::strtod(text.c_str(), nullptr);
+        flag.doubleValue = std::strtod(text.c_str(), &end);
+        if (text.empty() || *end != '\0')
+            fatal("flag '--", flag.name, "' expects a number, got '",
+                  text, "'");
         break;
       case Kind::Bool:
         flag.boolValue = !(text == "false" || text == "0" ||

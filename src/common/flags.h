@@ -6,6 +6,17 @@
  * FlagSet::parse(argc, argv). Supported syntaxes: --name=value,
  * --name value, and --name for booleans. --help prints the registered
  * flags with their defaults and exits.
+ *
+ * Key invariants:
+ *  - Pointers returned by add*() stay valid for the FlagSet's
+ *    lifetime (storage is per-flag heap allocations, not a
+ *    reallocating vector) and hold the default until parse() runs.
+ *  - Unknown flags, missing values and malformed numeric values
+ *    are fatal (the binary exits with a diagnostic); bool values
+ *    other than "false"/"0"/"no" read as true. parse() returning
+ *    false means --help was printed and the caller should exit 0.
+ *  - Lookup takes the first registration of a name, so names must
+ *    be unique within a FlagSet (duplicates are not detected).
  */
 
 #ifndef FERMIHEDRAL_COMMON_FLAGS_H

@@ -6,6 +6,17 @@
  * Bravyi-Kitaev, Parity are all x = A n transforms of the occupation
  * vector) and by the algebraic-independence validator, which reduces
  * to a GF(2) rank computation on symplectic vectors.
+ *
+ * Key invariants:
+ *  - BitVector stores bits packed into 64-bit words; bits at or
+ *    above size() are always zero, so popcount()/isZero()/equality
+ *    never see stale padding.
+ *  - operator^= requires equal lengths; there is no implicit
+ *    resizing anywhere in this module.
+ *  - BitMatrix queries (rank(), inverse(), transposed(),
+ *    multiply()) are const and never modify the receiver;
+ *    inverse() returns nullopt exactly when the matrix is
+ *    non-square or singular over GF(2).
  */
 
 #ifndef FERMIHEDRAL_COMMON_GF2_H

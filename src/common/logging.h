@@ -6,6 +6,12 @@
  * user without stopping, fatal() aborts because of a user error (bad
  * arguments, impossible configuration), and panic() aborts because an
  * internal invariant was violated (a bug in this library).
+ *
+ * Key invariants:
+ *  - fatal()/panic()/require() never return; callers may rely on
+ *    the checked condition holding on the fall-through path.
+ *  - Diagnostics go to stderr only — stdout is reserved for the
+ *    tables and data the bench binaries print.
  */
 
 #ifndef FERMIHEDRAL_COMMON_LOGGING_H

@@ -6,6 +6,15 @@
  * couplings, noise trajectories, measurement sampling) draw from an
  * explicitly seeded Rng instance so that every experiment is exactly
  * reproducible from its seed.
+ *
+ * Key invariants:
+ *  - The output stream is a pure function of the constructor seed
+ *    and the call sequence — no global state, no time-based
+ *    seeding, identical across platforms.
+ *  - nextBelow(bound) is uniform and unbiased (rejection sampling),
+ *    and requires bound > 0.
+ *  - split() derives a child whose stream is independent of the
+ *    parent's subsequent outputs, for parallel trajectories.
  */
 
 #ifndef FERMIHEDRAL_COMMON_RNG_H

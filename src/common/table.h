@@ -5,6 +5,13 @@
  * Each bench binary reproduces a paper table or figure by printing an
  * aligned text table (and optionally CSV) of the same rows/series the
  * paper reports.
+ *
+ * Key invariants:
+ *  - The header row fixes the column count; addRow() aborts on a
+ *    row of any other width, so a rendered table is always
+ *    rectangular.
+ *  - render() and renderCsv() are const and produce the same cells
+ *    in the same order — only the delimiters differ.
  */
 
 #ifndef FERMIHEDRAL_COMMON_TABLE_H

@@ -2,6 +2,12 @@
  * @file
  * Wall-clock stopwatch used by the descent solver budgets and the
  * time-to-solution benchmarks (Figure 11).
+ *
+ * Key invariants:
+ *  - Based on std::chrono::steady_clock, so elapsed readings are
+ *    monotone and immune to system clock adjustments.
+ *  - seconds() is const and may be polled repeatedly; only reset()
+ *    restarts the epoch.
  */
 
 #ifndef FERMIHEDRAL_COMMON_TIMER_H

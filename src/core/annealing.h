@@ -8,6 +8,15 @@
  * The annealer takes the Hamiltonian Pauli weight (Eq. 14) as the
  * energy and proposes pair swaps, which preserve the vacuum
  * pairing property exactly as the paper argues.
+ *
+ * Key invariants:
+ *  - Proposals only permute which Majorana pair serves which mode:
+ *    the multiset of Pauli strings in the result equals the input's,
+ *    so every validity property of `base` is preserved.
+ *  - finalCost <= initialCost always (the best assignment seen is
+ *    returned, not the last accepted one), and both are exact
+ *    hamiltonianPauliWeight() values.
+ *  - Runs are deterministic in AnnealingOptions::seed.
  */
 
 #ifndef FERMIHEDRAL_CORE_ANNEALING_H

@@ -14,6 +14,19 @@
  *  - SAT w/o Alg.: algebraicIndependence = false (Sec. 4.1);
  *  - SAT + Anl.: Ham.-independent solve here, then the annealing
  *    pairing of Algorithm 2 (annealing.h).
+ *
+ * Key invariants:
+ *  - solve() always returns a valid encoding: the Bravyi-Kitaev
+ *    baseline is feasible by construction, so even a zero budget
+ *    yields DescentResult::encoding with cost == baselineCost.
+ *  - result.cost is exact under the run's objective and equals
+ *    costOf(result.encoding); provedOptimal is set only on a true
+ *    UNSAT at cost - 1 (never on a timeout).
+ *  - The cost trajectory is strictly decreasing: each SAT model
+ *    accepted during descent is strictly cheaper than the last.
+ *  - enumerateOptimal() may only be called after solve(); the
+ *    returned encodings are pairwise distinct operator assignments
+ *    at cost <= the best found.
  */
 
 #ifndef FERMIHEDRAL_CORE_DESCENT_SOLVER_H

@@ -21,6 +21,19 @@
  *    bits (Hamiltonian-independent) or per-expanded-product weight
  *    bits (Hamiltonian-dependent) feed a capped totalizer, so the
  *    descent of Algorithm 1 tightens the bound by unit clauses.
+ *
+ * Key invariants:
+ *  - All constraints are built into the solver by the constructor;
+ *    afterwards the model only reads literals, asserts bounds and
+ *    decodes. The solver must outlive the model.
+ *  - decode() requires the solver to hold a satisfying model; the
+ *    decoded encoding then satisfies every enabled constraint and
+ *    costOf(decode()) is the exact objective the totalizer counted.
+ *  - boundCostAtMost()/costAtMostAssumption() require
+ *    bound <= options.costCap (the unary counter's width).
+ *  - Bounds only ever tighten: boundCostAtMost(k) adds a permanent
+ *    unit clause, so a later looser bound cannot be expressed on
+ *    the same model instance.
  */
 
 #ifndef FERMIHEDRAL_CORE_ENCODING_MODEL_H

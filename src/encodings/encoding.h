@@ -3,6 +3,19 @@
  * The Fermion-to-qubit encoding value type, the Hamiltonian mapper,
  * and the exact validator for the paper's four constraints
  * (Section 3.1).
+ *
+ * Key invariants:
+ *  - A well-formed FermionEncoding has majoranas.size() == 2 * modes
+ *    and every string on the same qubit count; majoranas[2j] and
+ *    majoranas[2j+1] realise mode j under the fixed pairing
+ *    convention below.
+ *  - validateEncoding() checks the constraints exactly (no
+ *    sampling): anticommutativity pairwise, algebraic independence
+ *    as a GF(2) rank condition, vacuum preservation by applying
+ *    a_j to |0...0>.
+ *  - mapToQubits() of a Hermitian Hamiltonian through a valid
+ *    encoding yields numerically real coefficients, and its
+ *    spectrum matches the Fock-space ground truth (fermion/fock.h).
  */
 
 #ifndef FERMIHEDRAL_ENCODINGS_ENCODING_H

@@ -21,6 +21,15 @@
  *   - Bravyi-Kitaev:  A = the Fenwick-tree (binary indexed tree)
  *                     partial-sum matrix, giving the O(log N)
  *                     operator weight of the paper's baseline.
+ *
+ * Key invariants:
+ *  - linearEncoding() requires an invertible square A and returns a
+ *    fully valid encoding: anticommuting, algebraically
+ *    independent, vacuum-preserving (a_j |0...0> = 0) — all four
+ *    Section 3.1 constraints hold by construction.
+ *  - Tracked phases are exact: mapToQubits() through these
+ *    encodings reproduces the Fock-space matrix identically, not
+ *    just up to per-operator signs.
  */
 
 #ifndef FERMIHEDRAL_ENCODINGS_LINEAR_H

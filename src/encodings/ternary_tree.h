@@ -9,6 +9,13 @@
  * according to the branch taken. The 2N+1 path strings pairwise
  * anticommute and are algebraically independent; dropping one leaves
  * 2N Majorana operators with O(log3 N) weight each.
+ *
+ * Key invariants:
+ *  - The returned encoding always satisfies anticommutativity and
+ *    algebraic independence; vacuum preservation generally does NOT
+ *    hold (see ternaryTree() below), so it serves as a
+ *    weight-comparison baseline, not a simulation encoding.
+ *  - Construction is deterministic: same mode count, same strings.
  */
 
 #ifndef FERMIHEDRAL_ENCODINGS_TERNARY_TREE_H

@@ -10,6 +10,17 @@
  * Fermion-to-qubit encoding must map the Hamiltonian to a qubit
  * operator with exactly this spectrum, which the integration tests
  * verify.
+ *
+ * Key invariants:
+ *  - applyFermionOps() applies operators right-to-left (ops[0]
+ *    acts last) and returns nullopt exactly when the product
+ *    annihilates the state; signs are the exact Fermionic parity
+ *    factors.
+ *  - applyMajoranaOps() never returns a zero image (Majorana
+ *    operators are unitary); the amplitude is always a power of i
+ *    times +/-1.
+ *  - Matrices are row-major with the column as the input state, on
+ *    the basis |n_{N-1} ... n_0> with mode 0 least significant.
  */
 
 #ifndef FERMIHEDRAL_FERMION_FOCK_H

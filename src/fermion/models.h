@@ -3,6 +3,15 @@
  * The three benchmark Hamiltonian families of the paper (Figure 5):
  * molecular electronic structure, the Fermi-Hubbard model with
  * periodic boundary conditions, and the four-body SYK model.
+ *
+ * Key invariants:
+ *  - Every builder returns a Hermitian FermionHamiltonian: mapping
+ *    through a valid encoding yields real Pauli coefficients.
+ *  - Spin-orbital ordering is fixed as mode(site/orbital, spin) =
+ *    2 * index + spin throughout the module.
+ *  - The random families (synthetic integrals, SYK couplings) are
+ *    deterministic in the supplied Rng, so benchmark rows are
+ *    reproducible from their seeds.
  */
 
 #ifndef FERMIHEDRAL_FERMION_MODELS_H

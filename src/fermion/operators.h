@@ -11,6 +11,21 @@
  *   gamma[2j]   = a_j + a^dag_j
  *   gamma[2j+1] = i (a^dag_j - a_j)
  * so a_j = (gamma[2j] + i gamma[2j+1]) / 2.
+ *
+ * Key invariants:
+ *  - FermionHamiltonian is an inert container: terms are stored as
+ *    given (no normal ordering, no merging); all algebra happens in
+ *    the free functions below.
+ *  - reduceMajoranaSequence() is canonical: the returned mask lists
+ *    each surviving index once, the sign accounts exactly for the
+ *    anticommutation swaps and gamma^2 = I eliminations.
+ *  - expandFermionTerm() of a k-operator term yields exactly 2^k
+ *    monomials before reduction, each with |coefficient| =
+ *    |term.coefficient| / 2^k.
+ *  - majoranaStructure() merges equal subsets, never emits the
+ *    empty mask, and its multiplicities count every expanded
+ *    product of the Hamiltonian — it is the exact Eq. 14 cost
+ *    structure shared by the SAT objective and the annealer.
  */
 
 #ifndef FERMIHEDRAL_FERMION_OPERATORS_H

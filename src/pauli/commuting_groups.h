@@ -9,6 +9,15 @@
  * whole family. This is the standard measurement-reduction pass the
  * paper's related-work section cites (term grouping [12, 13]) and
  * reduces the shot cost of the Figs. 8-10 protocols.
+ *
+ * Key invariants:
+ *  - The groups partition exactly the non-identity terms of the
+ *    input sum: every such term index appears in precisely one
+ *    group; identity terms appear in none.
+ *  - Within a group, every member agrees with the shared `basis`
+ *    at each qubit where the member is non-identity.
+ *  - Grouping is deterministic (first-fit in stored term order),
+ *    so results are stable across runs.
  */
 
 #ifndef FERMIHEDRAL_PAULI_COMMUTING_GROUPS_H

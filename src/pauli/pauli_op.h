@@ -6,6 +6,15 @@
  * with I=(0,0), X=(1,0), Y=(1,1), Z=(0,1). Multiplication xors the
  * bit pairs; the accumulated power of i is looked up in a 16-entry
  * table derived from the 2x2 matrices.
+ *
+ * Key invariants:
+ *  - fromBits(xBit(op), zBit(op)) == op for every operator: the
+ *    symplectic round-trip is the identity.
+ *  - The phase table is exact Pauli algebra: op1 * op2 =
+ *    i^phase * fromBits(x1^x2, z1^z2), with phase 0 whenever the
+ *    operators commute.
+ *  - Everything here is constexpr and branch-free enough for the
+ *    hot loops (annealing's productWeight, the simulator).
  */
 
 #ifndef FERMIHEDRAL_PAULI_PAULI_OP_H

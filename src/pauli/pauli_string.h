@@ -7,6 +7,17 @@
  * Qubit 0 is the least-significant bit; the printed label follows the
  * paper's convention P = sigma_N (x) ... (x) sigma_1, i.e.\ the
  * leftmost character is the highest qubit.
+ *
+ * Key invariants:
+ *  - Value type of three machine words; copying is trivial and all
+ *    operations leave operands unchanged.
+ *  - The x/z masks only ever have bits below numQubits() set, and
+ *    the phase exponent is kept normalised to 0..3.
+ *  - Two strings either commute or anticommute; commutesWith() is
+ *    the symplectic-form parity popcount(x1 & z2) + popcount(z1 & x2)
+ *    being even.
+ *  - operator* tracks the exact i^k phase of the 2x2 matrix algebra,
+ *    so P * P.adjoint() is the identity with phase exponent 0.
  */
 
 #ifndef FERMIHEDRAL_PAULI_PAULI_STRING_H

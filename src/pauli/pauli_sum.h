@@ -6,6 +6,15 @@
  * pairs; the string's tracked phase is folded into the coefficient on
  * insertion, so equal tensors always combine. Encoded Fermionic
  * Hamiltonians are PauliSums with (numerically) real coefficients.
+ *
+ * Key invariants:
+ *  - Stored PauliTerm strings always have phase exponent 0 — the
+ *    phase lives entirely in the coefficient.
+ *  - All terms share the sum's qubit count; add() rejects width
+ *    mismatches.
+ *  - add() is lazy (duplicates accumulate); only simplify()
+ *    combines equal tensors, drops near-zero terms and sorts into
+ *    canonical order, after which equal sums compare term-by-term.
  */
 
 #ifndef FERMIHEDRAL_PAULI_PAULI_SUM_H

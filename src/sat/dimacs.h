@@ -7,6 +7,15 @@
  * loaded back into this solver. The Solver itself does not retain
  * removed duplicate/tautology clauses, so export works through a
  * recording proxy.
+ *
+ * Key invariants:
+ *  - toDimacs(parseDimacs(text)) preserves the clause list exactly
+ *    (same clauses, same literal order); only comments and
+ *    whitespace are normalised.
+ *  - Internal 0-based variables map to DIMACS 1-based integers as
+ *    var + 1, negative for negated literals.
+ *  - snapshotCnf() captures the verbatim addClause() stream — it
+ *    requires Solver::enableRecording() before the first clause.
  */
 
 #ifndef FERMIHEDRAL_SAT_DIMACS_H

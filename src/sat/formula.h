@@ -7,6 +7,18 @@
  * over literals, and each gate is converted to CNF by introducing one
  * auxiliary variable (the Tseitin transformation), keeping the clause
  * count linear in the formula size.
+ *
+ * Key invariants:
+ *  - Every mk*() gate is a full equivalence (y <-> gate(inputs)),
+ *    so formulas stay equisatisfiable with the circuit they encode
+ *    regardless of input polarity.
+ *  - All variables and clauses go into the Solver passed at
+ *    construction; Formula itself holds no clause state beyond the
+ *    shared true-literal, and several Formulas may target one
+ *    solver.
+ *  - Gate clause counts are fixed: and/or cost |inputs| + 1
+ *    clauses, a binary xor costs 4; mkXorChain is linear in the
+ *    input count.
  */
 
 #ifndef FERMIHEDRAL_SAT_FORMULA_H

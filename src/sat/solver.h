@@ -17,6 +17,19 @@
  *    asserting a single totalizer output literal per step,
  *  - conflict/time budgets so descent steps can time out the same
  *    way the paper's setup bounds each SAT call.
+ *
+ * Key invariants:
+ *  - Variables are dense 0-based indices; every literal passed to
+ *    addClause()/solve() must come from a prior newVar() call.
+ *  - After solve() returns Sat, modelValue() is defined for every
+ *    variable and satisfies every added clause; after Unsat the
+ *    formula (under the given assumptions) has no model. Unknown is
+ *    returned only when a Budget expired.
+ *  - Clauses and variables may be added between solve() calls;
+ *    learnt clauses, saved phases and activities persist, which is
+ *    what makes the descent loop's incremental tightening cheap.
+ *  - The clause arena may be garbage-collected at any solve()
+ *    boundary: ClauseRef values are internal and never escape.
  */
 
 #ifndef FERMIHEDRAL_SAT_SOLVER_H

@@ -12,6 +12,16 @@
  * The counter is capped: counts above `cap` all map to the top
  * output, which keeps the clause count O(n * cap) instead of O(n^2).
  * This is sound for upper bounds not exceeding the cap.
+ *
+ * Key invariants:
+ *  - Outputs are monotone in every model: output k true implies
+ *    output k-1 true, so the counter reads as a unary number.
+ *  - atLeast(count) requires 1 <= count <= width(), where width()
+ *    is min(inputs, cap + 1); bounds above the cap are not
+ *    expressible and must be handled by the caller.
+ *  - All counter structure is built once in the constructor; later
+ *    boundAtMost() calls add only single unit clauses, which is
+ *    what keeps Algorithm 1's descent incremental.
  */
 
 #ifndef FERMIHEDRAL_SAT_TOTALIZER_H

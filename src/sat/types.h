@@ -5,6 +5,14 @@
  * Follows the MiniSat conventions: a literal packs a variable index
  * and a sign into one integer (var << 1 | sign), which doubles as an
  * index into watch lists.
+ *
+ * Key invariants:
+ *  - litVar(mkLit(v, s)) == v and litSign(mkLit(v, s)) == s;
+ *    negation (~) only toggles the low bit, so ~~lit == lit.
+ *  - A default-constructed Lit equals litUndef and is never a
+ *    valid clause literal.
+ *  - The packed code orders literals by variable then sign, which
+ *    watch lists and the DIMACS writer both rely on.
  */
 
 #ifndef FERMIHEDRAL_SAT_TYPES_H
@@ -79,8 +87,12 @@ operator-(LBool value)
 inline std::string
 litToString(Lit lit)
 {
-    return (litSign(lit) ? "-" : "") +
-           std::to_string(litVar(lit) + 1);
+    // Built with += rather than operator+(const char*, string&&),
+    // which trips GCC 12's -Wrestrict false positive (PR 105651)
+    // at -O2 and above.
+    std::string text = litSign(lit) ? "-" : "";
+    text += std::to_string(litVar(lit) + 1);
+    return text;
 }
 
 } // namespace fermihedral::sat

@@ -8,6 +8,15 @@
  * prepare the energy eigenstates E0..E3 that the noisy simulations
  * of Figures 8-10 start from, and to cross-check encoded spectra
  * against the Fock-space ground truth.
+ *
+ * Key invariants:
+ *  - Eigenvalues are returned in ascending order with vectors[k]
+ *    the normalised eigenvector of values[k]; for Hermitian input
+ *    the residual |H v - lambda v| is at numerical noise level.
+ *  - Inputs must be Hermitian; the functions do not symmetrise or
+ *    validate, garbage in is garbage out.
+ *  - Cost is O(dim^3) time and O(dim^2) memory with dim = 2^n —
+ *    intended for the paper's small study systems (n <= ~10).
  */
 
 #ifndef FERMIHEDRAL_SIM_EXACT_H

@@ -7,6 +7,16 @@
  * uses for the paper's Figures 8-9), plus classical readout bit
  * flips during measurement sampling. The IonQ Aria-1 profile of the
  * real-system study (Fig. 10) is provided as a preset.
+ *
+ * Key invariants:
+ *  - Injected errors are uniformly random non-identity Paulis on
+ *    exactly the qubit(s) the gate touched (1 of 3 for single-qubit
+ *    gates, 1 of 15 for CNOT) — standard depolarizing channels.
+ *  - With NoiseModel::ideal() every function reduces exactly to
+ *    the noiseless behaviour; sampleEnergy still samples shot
+ *    noise, but trajectories equal applyCircuit().
+ *  - All randomness flows through the caller's Rng, so whole
+ *    experiments are reproducible from one seed.
  */
 
 #ifndef FERMIHEDRAL_SIM_NOISE_H

@@ -6,6 +6,17 @@
  * Rx/Ry/Rz, CNOT), Pauli-string application, Pauli-sum expectation
  * values and computational-basis sampling — everything the noisy
  * end-to-end studies (Figs. 8-10) need. Practical up to ~14 qubits.
+ *
+ * Key invariants:
+ *  - The amplitude vector always has exactly 2^numQubits() entries,
+ *    with basis index bit q corresponding to qubit q.
+ *  - Every gate application is unitary, so the norm is preserved up
+ *    to floating-point rounding; normalize() exists for long noisy
+ *    trajectories, not for correctness of single circuits.
+ *  - applyGate() handles every circuit::GateKind exactly (the
+ *    switch is exhaustive); applyCircuit()/applyPauli() require
+ *    matching qubit width and abort on mismatch.
+ *  - Qubit indices passed to any method must be < numQubits().
  */
 
 #ifndef FERMIHEDRAL_SIM_STATEVECTOR_H
