@@ -15,6 +15,7 @@
 #include "bench_util.h"
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "sim/exact.h"
@@ -33,8 +34,13 @@ main(int argc, char **argv)
         flags.addDouble("timeout", 45.0, "SAT budget (s)");
     const auto *max_state =
         flags.addInt("max-state", 3, "highest eigenstate index");
+    const auto *threads_flag =
+        flags.addInt("threads", 0, "shot-runner threads (0 = "
+                                   "hardware concurrency)");
     if (!flags.parse(argc, argv))
         return 0;
+    ThreadPool pool(
+        ThreadPool::resolveThreadCount(*threads_flag));
 
     bench::banner("noisy H2 simulation", "Figure 8");
     const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
@@ -66,9 +72,11 @@ main(int argc, char **argv)
     }
 
     Table table({"State", "2q error", "Encoding", "E measured",
-                 "sigma", "E exact"});
+                 "sigma", "E exact", "shots/s"});
     Rng rng(808);
     const double errors[] = {1e-4, 1e-3, 1e-2};
+    std::size_t total_shots = 0;
+    double total_seconds = 0.0;
     for (std::int64_t level = 0; level <= *max_state; ++level) {
         for (const double error : errors) {
             for (const auto &entry : entries) {
@@ -79,7 +87,10 @@ main(int argc, char **argv)
                     static_cast<std::size_t>(level));
                 const auto stats = sim::measureEnergy(
                     entry.circuit, initial, entry.qubit_h, noise,
-                    static_cast<std::size_t>(*shots), rng);
+                    static_cast<std::size_t>(*shots), rng,
+                    pool);
+                total_shots += stats.shots;
+                total_seconds += stats.elapsedSeconds;
                 // Avoid operator+(const char*, string&&): GCC 12's
                 // -Wrestrict false positive (PR 105651) fires on it
                 // at -O2 and above.
@@ -90,11 +101,18 @@ main(int argc, char **argv)
                      Table::num(error, 4), entry.name,
                      Table::num(stats.mean, 4),
                      Table::num(stats.standardDeviation, 4),
-                     Table::num(entry.eigen.values[level], 4)});
+                     Table::num(entry.eigen.values[level], 4),
+                     Table::num(stats.shots /
+                                    stats.elapsedSeconds,
+                                0)});
             }
         }
     }
     std::printf("%s", table.render().c_str());
+    std::printf("throughput: %.0f shots/s over %zu shots "
+                "(%zu threads)\n",
+                total_shots / total_seconds, total_shots,
+                pool.threadCount());
     std::printf("Full SAT should show the least drift from the "
                 "exact eigenvalue and the smallest sigma.\n");
     return 0;

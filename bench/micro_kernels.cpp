@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "circuit/passes.h"
 #include "circuit/pauli_compiler.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/annealing.h"
 #include "encodings/encoding.h"
@@ -16,6 +18,7 @@
 #include "sat/solver.h"
 #include "sat/totalizer.h"
 #include "sim/exact.h"
+#include "sim/noise.h"
 #include "sim/statevector.h"
 
 using namespace fermihedral;
@@ -81,6 +84,196 @@ BM_StateVectorCnot(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StateVectorCnot)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_StateVectorRz(benchmark::State &state)
+{
+    sim::StateVector psi(
+        static_cast<std::size_t>(state.range(0)));
+    const circuit::Gate gate{circuit::GateKind::Rz, 0, 0, 0.37};
+    for (auto _ : state) {
+        psi.applyGate(gate);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StateVectorRz)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_StateVectorPauliX(benchmark::State &state)
+{
+    sim::StateVector psi(
+        static_cast<std::size_t>(state.range(0)));
+    const circuit::Gate gate{circuit::GateKind::X, 0, 0, 0.0};
+    for (auto _ : state) {
+        psi.applyGate(gate);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StateVectorPauliX)->Arg(10)->Arg(14)->Arg(18);
+
+/** Shared fixture for the trajectory-engine kernels: H2 under BK. */
+struct H2Fixture
+{
+    pauli::PauliSum hamiltonian;
+    circuit::Circuit circuit;
+    circuit::FusedCircuit lowered;
+    circuit::FusedCircuit fused;
+    sim::StateVector initial;
+    sim::StateVector evolved;
+
+    H2Fixture()
+        : hamiltonian(enc::mapToQubits(
+              fermion::h2Sto3gIntegrals().toHamiltonian(),
+              enc::bravyiKitaev(4))),
+          circuit(circuit::compileTrotter(hamiltonian, 1.0)),
+          lowered(circuit::lowerToMatrices(circuit)),
+          fused(circuit::fuseSingleQubitGates(circuit)),
+          initial(sim::eigendecompose(hamiltonian).state(0)),
+          evolved(initial)
+    {
+        evolved.applyCircuit(circuit);
+    }
+
+    static const H2Fixture &
+    instance()
+    {
+        static const H2Fixture fixture;
+        return fixture;
+    }
+};
+
+void
+BM_ApplyCircuitTrotterH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    sim::StateVector psi = fixture.initial;
+    for (auto _ : state) {
+        psi.applyCircuit(fixture.circuit);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_ApplyCircuitTrotterH2);
+
+void
+BM_ApplyFusedTrotterH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    sim::StateVector psi = fixture.initial;
+    for (auto _ : state) {
+        psi.applyFused(fixture.fused);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_ApplyFusedTrotterH2);
+
+void
+BM_NoisyTrajectoryH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    sim::NoiseModel noise;
+    noise.singleQubitError = 1e-4;
+    noise.twoQubitError = 1e-3;
+    Rng rng(11);
+    sim::StateVector scratch(1);
+    for (auto _ : state) {
+        sim::runNoisyTrajectoryInto(fixture.lowered,
+                                    fixture.initial, noise, rng,
+                                    scratch);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_NoisyTrajectoryH2);
+
+void
+BM_SampleEnergyUngroupedH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    sim::NoiseModel noise;
+    noise.readoutError = 1e-3;
+    Rng rng(12);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::sampleEnergy(
+            fixture.evolved, fixture.hamiltonian, noise, rng));
+    }
+}
+BENCHMARK(BM_SampleEnergyUngroupedH2);
+
+void
+BM_SampleEnergyGroupedH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    const sim::MeasurementPlan plan(fixture.hamiltonian);
+    sim::NoiseModel noise;
+    noise.readoutError = 1e-3;
+    Rng rng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::sampleEnergy(fixture.evolved, plan, noise, rng));
+    }
+}
+BENCHMARK(BM_SampleEnergyGroupedH2);
+
+void
+BM_MeasureEnergyH2(benchmark::State &state)
+{
+    const auto &fixture = H2Fixture::instance();
+    sim::NoiseModel noise;
+    noise.singleQubitError = 1e-4;
+    noise.twoQubitError = 1e-3;
+    noise.readoutError = 1e-3;
+    ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    Rng rng(14);
+    const std::size_t shots = 512;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::measureEnergy(
+            fixture.circuit, fixture.initial, fixture.hamiltonian,
+            noise, shots, rng, pool));
+    }
+    state.counters["shots/s"] = benchmark::Counter(
+        static_cast<double>(shots * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+// Wall-clock timing: with worker threads, main-thread CPU time
+// would misreport the rate.
+BENCHMARK(BM_MeasureEnergyH2)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void
+BM_SampleBasisLinear(benchmark::State &state)
+{
+    Rng init(15);
+    sim::StateVector psi(14);
+    for (std::uint32_t q = 0; q < 14; ++q) {
+        psi.applyGate({circuit::GateKind::H, q, 0, 0.0});
+        psi.applyGate({circuit::GateKind::Rz, q, 0,
+                       init.nextDouble(0, 6)});
+    }
+    Rng rng(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(psi.sampleBasisState(rng));
+}
+BENCHMARK(BM_SampleBasisLinear);
+
+void
+BM_SampleBasisTable(benchmark::State &state)
+{
+    Rng init(15);
+    sim::StateVector psi(14);
+    for (std::uint32_t q = 0; q < 14; ++q) {
+        psi.applyGate({circuit::GateKind::H, q, 0, 0.0});
+        psi.applyGate({circuit::GateKind::Rz, q, 0,
+                       init.nextDouble(0, 6)});
+    }
+    const sim::SampleTable table(psi);
+    Rng rng(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.sample(rng));
+}
+BENCHMARK(BM_SampleBasisTable);
 
 void
 BM_PauliExpectation(benchmark::State &state)

@@ -6,12 +6,14 @@
  * state energy drift under increasing two-qubit gate error.
  *
  * Usage: h2_noisy_simulation [--shots=300] [--timeout=30]
+ *                            [--threads=0]
  */
 
 #include <cstdio>
 
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/descent_solver.h"
@@ -30,8 +32,13 @@ main(int argc, char **argv)
         flags.addInt("shots", 300, "trajectories per setting");
     const auto *timeout =
         flags.addDouble("timeout", 30.0, "SAT budget (s)");
+    const auto *threads_flag =
+        flags.addInt("threads", 0, "shot-runner threads (0 = "
+                                   "hardware concurrency)");
     if (!flags.parse(argc, argv))
         return 0;
+    ThreadPool pool(
+        ThreadPool::resolveThreadCount(*threads_flag));
 
     const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
     std::printf("H2/STO-3G: %zu spin orbitals, %zu terms\n",
@@ -58,8 +65,10 @@ main(int argc, char **argv)
     };
 
     Table table({"2q error", "Encoding", "E (measured)", "sigma",
-                 "E0 (exact)"});
+                 "E0 (exact)", "shots/s"});
     Rng rng(20240427);
+    std::size_t total_shots = 0;
+    double total_seconds = 0.0;
     for (const double error : {1e-4, 1e-3, 1e-2}) {
         for (const auto &entry : entries) {
             const auto qubit_h = enc::mapToQubits(h2,
@@ -74,14 +83,23 @@ main(int argc, char **argv)
             noise.twoQubitError = error;
             const auto stats = sim::measureEnergy(
                 circuit, initial, qubit_h, noise,
-                static_cast<std::size_t>(*shots), rng);
+                static_cast<std::size_t>(*shots), rng, pool);
+            total_shots += stats.shots;
+            total_seconds += stats.elapsedSeconds;
             table.addRow({Table::num(error, 4), entry.name,
                           Table::num(stats.mean, 4),
                           Table::num(stats.standardDeviation, 4),
-                          Table::num(eigen.values[0], 4)});
+                          Table::num(eigen.values[0], 4),
+                          Table::num(stats.shots /
+                                         stats.elapsedSeconds,
+                                     0)});
         }
     }
     std::printf("\n%s", table.render().c_str());
+    std::printf("throughput: %.0f shots/s over %zu shots "
+                "(%zu threads)\n",
+                total_shots / total_seconds, total_shots,
+                pool.threadCount());
     std::printf("Lower drift from E0 and smaller sigma indicate a "
                 "better encoding.\n");
     return 0;

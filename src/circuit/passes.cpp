@@ -132,4 +132,122 @@ optimizeCircuit(Circuit &circuit)
     }
 }
 
+Matrix2
+multiply(const Matrix2 &a, const Matrix2 &b)
+{
+    Matrix2 out;
+    out.m00 = a.m00 * b.m00 + a.m01 * b.m10;
+    out.m01 = a.m00 * b.m01 + a.m01 * b.m11;
+    out.m10 = a.m10 * b.m00 + a.m11 * b.m10;
+    out.m11 = a.m10 * b.m01 + a.m11 * b.m11;
+    return out;
+}
+
+Matrix2
+singleQubitMatrix(const Gate &gate)
+{
+    constexpr std::complex<double> i{0.0, 1.0};
+    const double half = gate.angle / 2.0;
+    const double c = std::cos(half);
+    const double s = std::sin(half);
+    Matrix2 m;
+    switch (gate.kind) {
+      case GateKind::H: {
+        const double r = 1.0 / std::sqrt(2.0);
+        m = {r, r, r, -r};
+        break;
+      }
+      case GateKind::X:
+        m = {0.0, 1.0, 1.0, 0.0};
+        break;
+      case GateKind::Y:
+        m = {0.0, -i, i, 0.0};
+        break;
+      case GateKind::Z:
+        m = {1.0, 0.0, 0.0, -1.0};
+        break;
+      case GateKind::S:
+        m = {1.0, 0.0, 0.0, i};
+        break;
+      case GateKind::Sdg:
+        m = {1.0, 0.0, 0.0, -i};
+        break;
+      case GateKind::Rx:
+        m = {c, -i * s, -i * s, c};
+        break;
+      case GateKind::Ry:
+        m = {c, -s, s, c};
+        break;
+      case GateKind::Rz:
+        m = {std::complex<double>{c, -s}, 0.0, 0.0,
+             std::complex<double>{c, s}};
+        break;
+      case GateKind::Cnot:
+        panic("singleQubitMatrix called with a CNOT");
+    }
+    return m;
+}
+
+FusedCircuit
+fuseSingleQubitGates(const Circuit &circuit)
+{
+    const std::size_t n = circuit.numQubits();
+    FusedCircuit out;
+    out.numQubits = n;
+
+    // Per-qubit matrix accumulated since the last CNOT on the qubit.
+    std::vector<Matrix2> pending(n);
+    std::vector<char> has_pending(n, 0);
+
+    const auto flush = [&](std::uint32_t qubit) {
+        if (!has_pending[qubit])
+            return;
+        FusedGate fused;
+        fused.qubit0 = qubit;
+        fused.matrix = pending[qubit];
+        out.gates.push_back(fused);
+        pending[qubit] = Matrix2{};
+        has_pending[qubit] = 0;
+    };
+
+    for (const Gate &gate : circuit.gates()) {
+        if (gate.kind == GateKind::Cnot) {
+            flush(gate.qubit0);
+            flush(gate.qubit1);
+            FusedGate fused;
+            fused.isCnot = true;
+            fused.qubit0 = gate.qubit0;
+            fused.qubit1 = gate.qubit1;
+            out.gates.push_back(fused);
+            continue;
+        }
+        pending[gate.qubit0] = multiply(singleQubitMatrix(gate),
+                                        pending[gate.qubit0]);
+        has_pending[gate.qubit0] = 1;
+    }
+    for (std::uint32_t q = 0; q < n; ++q)
+        flush(q);
+    return out;
+}
+
+FusedCircuit
+lowerToMatrices(const Circuit &circuit)
+{
+    FusedCircuit out;
+    out.numQubits = circuit.numQubits();
+    out.gates.reserve(circuit.size());
+    for (const Gate &gate : circuit.gates()) {
+        FusedGate fused;
+        fused.qubit0 = gate.qubit0;
+        if (gate.kind == GateKind::Cnot) {
+            fused.isCnot = true;
+            fused.qubit1 = gate.qubit1;
+        } else {
+            fused.matrix = singleQubitMatrix(gate);
+        }
+        out.gates.push_back(fused);
+    }
+    return out;
+}
+
 } // namespace fermihedral::circuit

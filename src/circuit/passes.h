@@ -7,10 +7,19 @@
  * CNOT-CNOT, S-Sdg), merge adjacent equal-axis rotations, and drop
  * rotations by multiples of 2 pi. Passes run to a fixpoint.
  *
+ * Also hosts the simulation-side fusion pass: runs of single-qubit
+ * gates that are adjacent on their qubit collapse into one 2x2
+ * matrix (a FusedCircuit), so the state-vector simulator sweeps the
+ * amplitudes once per run instead of once per gate. Fusion is for
+ * noiseless application only — per-gate error channels (sim/noise)
+ * must see every gate individually.
+ *
  * Key invariants:
  *  - Passes preserve the implemented unitary up to global phase;
  *    "adjacent" means adjacent on the gates' qubits (gates on
- *    disjoint qubits commute past each other).
+ *    disjoint qubits commute past each other). fuseSingleQubitGates
+ *    preserves the unitary exactly (including global phase): it
+ *    only multiplies the gates' actual matrices.
  *  - optimizeCircuit() terminates: every rewrite strictly removes
  *    gates, so the fixpoint is reached in at most size() rounds.
  *  - The qubit count never changes; only the gate list shrinks.
@@ -18,6 +27,9 @@
 
 #ifndef FERMIHEDRAL_CIRCUIT_PASSES_H
 #define FERMIHEDRAL_CIRCUIT_PASSES_H
+
+#include <complex>
+#include <vector>
 
 #include "circuit/circuit.h"
 
@@ -32,6 +44,76 @@ std::size_t cancelAndMergeOnce(Circuit &circuit);
 
 /** Run cancelAndMergeOnce until no gate is removed. */
 void optimizeCircuit(Circuit &circuit);
+
+/** A 2x2 complex matrix in row-major order (m[row][column]). */
+struct Matrix2
+{
+    std::complex<double> m00{1.0, 0.0};
+    std::complex<double> m01{0.0, 0.0};
+    std::complex<double> m10{0.0, 0.0};
+    std::complex<double> m11{1.0, 0.0};
+
+    /** True when both off-diagonal entries are exactly zero. */
+    bool
+    isDiagonal() const
+    {
+        return m01 == std::complex<double>{0.0, 0.0} &&
+               m10 == std::complex<double>{0.0, 0.0};
+    }
+
+    /** True when both diagonal entries are exactly zero (X, Y). */
+    bool
+    isAntiDiagonal() const
+    {
+        return m00 == std::complex<double>{0.0, 0.0} &&
+               m11 == std::complex<double>{0.0, 0.0};
+    }
+};
+
+/** Matrix product a * b (apply b first, then a). */
+Matrix2 multiply(const Matrix2 &a, const Matrix2 &b);
+
+/**
+ * The exact 2x2 matrix of a single-qubit gate (including the
+ * rotation angle). Calling this with a CNOT is a usage error.
+ */
+Matrix2 singleQubitMatrix(const Gate &gate);
+
+/** One fused operation: either a CNOT or a 2x2 matrix on a qubit. */
+struct FusedGate
+{
+    bool isCnot = false;
+    /** Matrix target qubit (CNOT: control). */
+    std::uint32_t qubit0 = 0;
+    /** CNOT target qubit (unused for matrices). */
+    std::uint32_t qubit1 = 0;
+    /** Accumulated matrix (identity for CNOTs). */
+    Matrix2 matrix;
+};
+
+/** A circuit after single-qubit-run fusion. */
+struct FusedCircuit
+{
+    std::size_t numQubits = 0;
+    std::vector<FusedGate> gates;
+};
+
+/**
+ * Collapse every maximal run of single-qubit gates that is adjacent
+ * on its qubit (only CNOTs touching the qubit break a run) into a
+ * single FusedGate matrix, preserving order relative to the CNOTs.
+ * The fused circuit implements exactly the same unitary.
+ */
+FusedCircuit fuseSingleQubitGates(const Circuit &circuit);
+
+/**
+ * Lower every gate to its matrix WITHOUT merging runs: the output
+ * has exactly one FusedGate per input gate, with rotation trig
+ * evaluated once here instead of on every application. This is the
+ * representation the per-gate noise channels need — fusing runs
+ * would change how many error opportunities a trajectory sees.
+ */
+FusedCircuit lowerToMatrices(const Circuit &circuit);
 
 } // namespace fermihedral::circuit
 

@@ -1,0 +1,106 @@
+#include "common/parallel.h"
+
+#include "common/logging.h"
+
+namespace fermihedral {
+
+ThreadPool::ThreadPool(std::size_t thread_count)
+    : count(thread_count == 0 ? hardwareConcurrency() : thread_count)
+{
+    // The calling thread is one of the `count` participants; only
+    // the remaining count - 1 need dedicated workers.
+    workers.reserve(count - 1);
+    for (std::size_t w = 0; w + 1 < count; ++w)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+ThreadPool::resolveThreadCount(std::int64_t requested)
+{
+    return requested <= 0 ? hardwareConcurrency()
+                          : static_cast<std::size_t>(requested);
+}
+
+void
+ThreadPool::runTasks()
+{
+    for (;;) {
+        const std::size_t index =
+            nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (index >= jobCount)
+            return;
+        (*job)(index);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::size_t seen_generation = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock, [&] {
+                return stopping || generation != seen_generation;
+            });
+            if (stopping)
+                return;
+            seen_generation = generation;
+        }
+        runTasks();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--activeWorkers == 0)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::forEach(std::size_t task_count,
+                    const std::function<void(std::size_t)> &task)
+{
+    require(task != nullptr, "ThreadPool::forEach needs a task");
+    if (task_count == 0)
+        return;
+    if (workers.empty()) {
+        for (std::size_t i = 0; i < task_count; ++i)
+            task(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        job = &task;
+        jobCount = task_count;
+        nextIndex.store(0, std::memory_order_relaxed);
+        activeWorkers = workers.size();
+        ++generation;
+    }
+    wake.notify_all();
+    runTasks();
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [&] { return activeWorkers == 0; });
+        job = nullptr;
+    }
+}
+
+} // namespace fermihedral

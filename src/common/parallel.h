@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small reusable thread pool for data-parallel loops.
+ *
+ * The noisy-trajectory engine fans independent Monte-Carlo shots
+ * across cores with forEach(); the pool is equally usable for any
+ * embarrassingly parallel index loop. Determinism is the caller's
+ * contract: tasks must derive all randomness from their index (see
+ * Rng::fork) and write only to per-index slots, so results are
+ * bit-identical for every thread count.
+ *
+ * Key invariants:
+ *  - threadCount() == 1 runs every task inline on the caller's
+ *    thread: no worker threads are spawned and no synchronisation
+ *    happens, so the serial path is exactly the plain loop.
+ *  - forEach() visits every index in [0, count) exactly once and
+ *    returns only after all tasks have finished. Indices are
+ *    claimed dynamically, so no ordering between tasks may be
+ *    assumed.
+ *  - forEach() is not re-entrant: one loop at a time per pool, and
+ *    tasks must not call forEach() on their own pool.
+ *  - Tasks must not throw: an escaping exception would terminate
+ *    the worker (the library reports errors via require()/panic()
+ *    before entering parallel regions).
+ */
+
+#ifndef FERMIHEDRAL_COMMON_PARALLEL_H
+#define FERMIHEDRAL_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fermihedral {
+
+/** Fixed-size pool of worker threads for index-parallel loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param thread_count Number of threads participating in loops
+     *     (including the calling thread); 0 selects
+     *     hardwareConcurrency().
+     */
+    explicit ThreadPool(std::size_t thread_count = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Threads participating in forEach (>= 1). */
+    std::size_t threadCount() const { return count; }
+
+    /**
+     * Run task(index) for every index in [0, count), distributing
+     * indices dynamically over the pool's threads. Blocks until all
+     * tasks are done. The calling thread participates in the work.
+     */
+    void forEach(std::size_t task_count,
+                 const std::function<void(std::size_t)> &task);
+
+    /** The machine's hardware thread count (>= 1). */
+    static std::size_t hardwareConcurrency();
+
+    /**
+     * Map a --threads flag value to a pool size: any value <= 0
+     * selects hardwareConcurrency().
+     */
+    static std::size_t resolveThreadCount(std::int64_t requested);
+
+  private:
+    void workerLoop();
+    void runTasks();
+
+    std::size_t count;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable done;
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobCount = 0;
+    std::atomic<std::size_t> nextIndex{0};
+    std::size_t generation = 0;
+    std::size_t activeWorkers = 0;
+    bool stopping = false;
+};
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_PARALLEL_H

@@ -8,15 +8,21 @@ namespace fermihedral {
 
 namespace {
 
+/** SplitMix64 finaliser: bijective avalanche mixing of one word. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 /** SplitMix64 step, used to expand the seed into xoshiro state. */
 std::uint64_t
 splitMix64(std::uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
+    return mix64(x);
 }
 
 std::uint64_t
@@ -112,6 +118,21 @@ Rng
 Rng::split()
 {
     return Rng(next() ^ 0xd2b74407b1ce6e93ull);
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Fold the stream id and the four state words through the
+    // SplitMix64 finaliser; the parent state is only read. The
+    // golden-ratio increment separates consecutive stream ids
+    // before mixing so id 0 is as healthy as any other.
+    std::uint64_t h =
+        mix64(stream_id * 0x9e3779b97f4a7c15ull +
+              0xd2b74407b1ce6e93ull);
+    for (const std::uint64_t word : state)
+        h = mix64(h ^ word);
+    return Rng(h);
 }
 
 } // namespace fermihedral

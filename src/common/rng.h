@@ -15,6 +15,11 @@
  *    and requires bound > 0.
  *  - split() derives a child whose stream is independent of the
  *    parent's subsequent outputs, for parallel trajectories.
+ *  - fork(stream_id) derives an independent child stream WITHOUT
+ *    advancing the parent: it is a pure function of the parent's
+ *    current state and the stream id, so fork(0..N-1) yields N
+ *    reproducible streams whatever order (or thread) they are used
+ *    in. This is the primitive the parallel shot runner builds on.
  */
 
 #ifndef FERMIHEDRAL_COMMON_RNG_H
@@ -60,6 +65,16 @@ class Rng
 
     /** Derive an independent child generator (for parallel streams). */
     Rng split();
+
+    /**
+     * Derive child stream `stream_id` from the current state via
+     * SplitMix64-style mixing. Unlike split(), the parent is left
+     * untouched: its output sequence is the same whether or not
+     * fork() was called. Distinct stream ids give statistically
+     * independent streams; the same id always gives the same
+     * stream until the parent itself advances.
+     */
+    Rng fork(std::uint64_t stream_id) const;
 
   private:
     std::uint64_t state[4];

@@ -1,5 +1,7 @@
 #include "sim/statevector.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
@@ -57,15 +59,98 @@ StateVector::applyUnitary(std::uint32_t qubit, const Amplitude m00,
 }
 
 void
+StateVector::applyPhase(std::uint32_t qubit, Amplitude factor)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset)
+            amps[base + stride + offset] *= factor;
+    }
+}
+
+void
+StateVector::applyDiagonal(std::uint32_t qubit, Amplitude d0,
+                           Amplitude d1)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            amps[base + offset] *= d0;
+            amps[base + stride + offset] *= d1;
+        }
+    }
+}
+
+void
+StateVector::applyAntiDiagonal(std::uint32_t qubit, Amplitude c01,
+                               Amplitude c10)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = base + offset;
+            const std::size_t i1 = i0 + stride;
+            const Amplitude a0 = amps[i0];
+            amps[i0] = c01 * amps[i1];
+            amps[i1] = c10 * a0;
+        }
+    }
+}
+
+void
+StateVector::applyX(std::uint32_t qubit)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset)
+            std::swap(amps[base + offset],
+                      amps[base + stride + offset]);
+    }
+}
+
+void
+StateVector::applyY(std::uint32_t qubit)
+{
+    require(qubit < n, "gate qubit out of range");
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < amps.size();
+         base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = base + offset;
+            const std::size_t i1 = i0 + stride;
+            const Amplitude a0 = amps[i0];
+            amps[i0] = -kI * amps[i1];
+            amps[i1] = kI * a0;
+        }
+    }
+}
+
+void
 StateVector::applyCnot(std::uint32_t control, std::uint32_t target)
 {
     require(control < n && target < n && control != target,
             "invalid CNOT qubits");
     const std::size_t cmask = std::size_t{1} << control;
     const std::size_t tmask = std::size_t{1} << target;
-    for (std::size_t i = 0; i < amps.size(); ++i) {
-        if ((i & cmask) && !(i & tmask))
-            std::swap(amps[i], amps[i | tmask]);
+    // Enumerate only the control=1, target=0 quarter of the basis:
+    // spread each counter value over the other n-2 bit positions.
+    const std::size_t low = std::min(cmask, tmask);
+    const std::size_t high = std::max(cmask, tmask);
+    const std::size_t quarter = amps.size() / 4;
+    for (std::size_t k = 0; k < quarter; ++k) {
+        std::size_t i = k;
+        i = ((i & ~(low - 1)) << 1) | (i & (low - 1));
+        i = ((i & ~(high - 1)) << 1) | (i & (high - 1));
+        i |= cmask;
+        std::swap(amps[i], amps[i | tmask]);
     }
 }
 
@@ -73,9 +158,8 @@ void
 StateVector::applyGate(const circuit::Gate &gate)
 {
     using circuit::GateKind;
-    const double half = gate.angle / 2.0;
-    const double c = std::cos(half);
-    const double s = std::sin(half);
+    // Trig only for the rotation gates: evaluating cos/sin for the
+    // Cliffords too would dominate small-state trajectory shots.
     switch (gate.kind) {
       case GateKind::H: {
         const double r = 1.0 / std::sqrt(2.0);
@@ -83,30 +167,39 @@ StateVector::applyGate(const circuit::Gate &gate)
         break;
       }
       case GateKind::X:
-        applyUnitary(gate.qubit0, 0.0, 1.0, 1.0, 0.0);
+        applyX(gate.qubit0);
         break;
       case GateKind::Y:
-        applyUnitary(gate.qubit0, 0.0, -kI, kI, 0.0);
+        applyY(gate.qubit0);
         break;
       case GateKind::Z:
-        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, -1.0);
+        applyPhase(gate.qubit0, {-1.0, 0.0});
         break;
       case GateKind::S:
-        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, kI);
+        applyPhase(gate.qubit0, kI);
         break;
       case GateKind::Sdg:
-        applyUnitary(gate.qubit0, 1.0, 0.0, 0.0, -kI);
+        applyPhase(gate.qubit0, -kI);
         break;
-      case GateKind::Rx:
+      case GateKind::Rx: {
+        const double c = std::cos(gate.angle / 2.0);
+        const double s = std::sin(gate.angle / 2.0);
         applyUnitary(gate.qubit0, c, -kI * s, -kI * s, c);
         break;
-      case GateKind::Ry:
+      }
+      case GateKind::Ry: {
+        const double c = std::cos(gate.angle / 2.0);
+        const double s = std::sin(gate.angle / 2.0);
         applyUnitary(gate.qubit0, c, -s, s, c);
         break;
-      case GateKind::Rz:
-        applyUnitary(gate.qubit0, Amplitude{c, -s}, 0.0, 0.0,
-                     Amplitude{c, s});
+      }
+      case GateKind::Rz: {
+        const double c = std::cos(gate.angle / 2.0);
+        const double s = std::sin(gate.angle / 2.0);
+        applyDiagonal(gate.qubit0, Amplitude{c, -s},
+                      Amplitude{c, s});
         break;
+      }
       case GateKind::Cnot:
         applyCnot(gate.qubit0, gate.qubit1);
         break;
@@ -123,6 +216,33 @@ StateVector::applyCircuit(const circuit::Circuit &circuit)
 }
 
 void
+StateVector::applyFusedGate(const circuit::FusedGate &fused)
+{
+    if (fused.isCnot) {
+        applyCnot(fused.qubit0, fused.qubit1);
+    } else if (fused.matrix.isDiagonal()) {
+        applyDiagonal(fused.qubit0, fused.matrix.m00,
+                      fused.matrix.m11);
+    } else if (fused.matrix.isAntiDiagonal()) {
+        applyAntiDiagonal(fused.qubit0, fused.matrix.m01,
+                          fused.matrix.m10);
+    } else {
+        applyUnitary(fused.qubit0, fused.matrix.m00,
+                     fused.matrix.m01, fused.matrix.m10,
+                     fused.matrix.m11);
+    }
+}
+
+void
+StateVector::applyFused(const circuit::FusedCircuit &circuit)
+{
+    require(circuit.numQubits == n,
+            "fused circuit width does not match state");
+    for (const auto &fused : circuit.gates)
+        applyFusedGate(fused);
+}
+
+void
 StateVector::applyPauli(const pauli::PauliString &string)
 {
     require(string.numQubits() == n,
@@ -135,29 +255,143 @@ StateVector::applyPauli(const pauli::PauliString &string)
     amps = std::move(next);
 }
 
+namespace {
+
+/** i^k for k already normalised to 0..3. */
+Amplitude
+iPower(int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: return {1.0, 0.0};
+      case 1: return {0.0, 1.0};
+      case 2: return {-1.0, 0.0};
+      default: return {0.0, -1.0};
+    }
+}
+
+/** (-1)^popcount(bits) as a branch-free double. */
+double
+paritySign(std::uint64_t bits)
+{
+    return 1.0 - 2.0 * static_cast<double>(std::popcount(bits) & 1);
+}
+
+} // namespace
+
 Amplitude
 StateVector::expectation(const pauli::PauliString &string) const
 {
     require(string.numQubits() == n,
             "Pauli width does not match state");
+    // P|b> = i^(phase + popcount(x&z) + 2 popcount(z&b)) |b^x>, so
+    // <P> = i^(phase + popcount(x&z))
+    //       * sum_b (-1)^popcount(z&b) conj(a[b^x]) a[b].
+    const std::uint64_t x = string.xMask();
+    const std::uint64_t z = string.zMask();
     Amplitude sum{0.0, 0.0};
     for (std::size_t b = 0; b < amps.size(); ++b) {
-        const auto image = string.applyToBasis(b);
-        sum += std::conj(amps[image.bits]) * image.amplitude() *
-               amps[b];
+        sum += paritySign(b & z) * std::conj(amps[b ^ x]) * amps[b];
     }
-    return sum;
+    return iPower(string.phaseExp() +
+                  static_cast<int>(std::popcount(x & z))) *
+           sum;
 }
 
 double
 StateVector::expectation(const pauli::PauliSum &hamiltonian) const
 {
-    double energy = 0.0;
+    require(hamiltonian.numQubits() == n,
+            "Hamiltonian width does not match state");
+    // Split terms into diagonal (x == 0) and off-diagonal, the
+    // latter grouped by X-mask so each distinct gather pattern
+    // a[b^x] is walked once. PauliSum terms carry phase exponent 0,
+    // so the constant factor per term is i^popcount(x&z) (one i per
+    // Y), folded into the coefficient below.
+    struct OffTerm
+    {
+        std::uint64_t z;
+        double kr; // Re(coeff * i^popcount(x&z))
+        double ki; // Im(coeff * i^popcount(x&z))
+    };
+    std::vector<std::pair<std::uint64_t, double>> diagonal;
+    std::vector<std::pair<std::uint64_t, OffTerm>> off;
     for (const auto &term : hamiltonian.terms()) {
-        energy +=
-            (term.coefficient * expectation(term.string)).real();
+        const std::uint64_t x = term.string.xMask();
+        const std::uint64_t z = term.string.zMask();
+        if (x == 0) {
+            diagonal.emplace_back(z, term.coefficient.real());
+        } else {
+            const Amplitude k =
+                term.coefficient *
+                iPower(static_cast<int>(std::popcount(x & z)));
+            off.emplace_back(x, OffTerm{z, k.real(), k.imag()});
+        }
+    }
+
+    double energy = 0.0;
+    if (!diagonal.empty()) {
+        // One pass over the probabilities serves every diagonal
+        // term: energy += sum_b |a[b]|^2 sum_t c_t (-1)^pop(b&z_t).
+        for (std::size_t b = 0; b < amps.size(); ++b) {
+            const double p = std::norm(amps[b]);
+            double dot = 0.0;
+            for (const auto &[z, c] : diagonal)
+                dot += c * paritySign(b & z);
+            energy += p * dot;
+        }
+    }
+    if (!off.empty()) {
+        std::sort(off.begin(), off.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        std::size_t begin = 0;
+        while (begin < off.size()) {
+            const std::uint64_t x = off[begin].first;
+            std::size_t end = begin;
+            while (end < off.size() && off[end].first == x)
+                ++end;
+            // One pass per distinct X-mask; every term with this
+            // mask reuses the gathered product conj(a[b^x]) a[b].
+            for (std::size_t b = 0; b < amps.size(); ++b) {
+                const Amplitude c = std::conj(amps[b ^ x]) * amps[b];
+                double dot_r = 0.0, dot_i = 0.0;
+                for (std::size_t t = begin; t < end; ++t) {
+                    const OffTerm &term = off[t].second;
+                    const double sign = paritySign(b & term.z);
+                    dot_r += sign * term.kr;
+                    dot_i += sign * term.ki;
+                }
+                // Re((kr + i ki) * c) summed over the mask's terms.
+                energy += dot_r * c.real() - dot_i * c.imag();
+            }
+            begin = end;
+        }
     }
     return energy;
+}
+
+SampleTable::SampleTable(const StateVector &state)
+    : cdf(state.dimension())
+{
+    // Accumulate in the same order as the linear scan so the two
+    // samplers agree bit-for-bit on every draw.
+    const auto &amps = state.amplitudes();
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        cumulative += std::norm(amps[b]);
+        cdf[b] = cumulative;
+    }
+}
+
+std::uint64_t
+SampleTable::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return cdf.size() - 1; // rounding tail
+    return static_cast<std::uint64_t>(it - cdf.begin());
 }
 
 std::uint64_t

@@ -7,6 +7,14 @@
  * values and computational-basis sampling — everything the noisy
  * end-to-end studies (Figs. 8-10) need. Practical up to ~14 qubits.
  *
+ * Gates dispatch to specialized kernels: diagonal gates (Z, S, Sdg,
+ * Rz) are pure phase multiplies, X/Y are index swaps, CNOT iterates
+ * only the affected quarter of the amplitudes, and fused 2x2 runs
+ * (circuit::FusedCircuit) apply through the generic unitary kernel.
+ * expectation(PauliSum) walks the amplitudes once per distinct
+ * X-mask (at most once per qubit-wise commuting family) with
+ * branch-free popcount sign arithmetic instead of once per term.
+ *
  * Key invariants:
  *  - The amplitude vector always has exactly 2^numQubits() entries,
  *    with basis index bit q corresponding to qubit q.
@@ -14,9 +22,15 @@
  *    to floating-point rounding; normalize() exists for long noisy
  *    trajectories, not for correctness of single circuits.
  *  - applyGate() handles every circuit::GateKind exactly (the
- *    switch is exhaustive); applyCircuit()/applyPauli() require
- *    matching qubit width and abort on mismatch.
+ *    switch is exhaustive), and every specialized kernel computes
+ *    the same matrix action as applyUnitary() with that gate's
+ *    matrix; applyCircuit()/applyPauli() require matching qubit
+ *    width and abort on mismatch.
  *  - Qubit indices passed to any method must be < numQubits().
+ *  - sampleBasisState() is allocation-free (one linear scan); for
+ *    many shots from one state build a SampleTable, which consumes
+ *    the same single nextDouble() per shot and returns bit-identical
+ *    samples to the linear scan.
  */
 
 #ifndef FERMIHEDRAL_SIM_STATEVECTOR_H
@@ -26,6 +40,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/passes.h"
 #include "common/rng.h"
 #include "pauli/pauli_string.h"
 #include "pauli/pauli_sum.h"
@@ -57,11 +72,31 @@ class StateVector
                       const Amplitude m01, const Amplitude m10,
                       const Amplitude m11);
 
-    /** Apply one IR gate. */
+    /** Multiply |..1..> amplitudes of `qubit` by `factor`. */
+    void applyPhase(std::uint32_t qubit, Amplitude factor);
+
+    /** Apply diag(d0, d1) to one qubit (Rz and fused diagonals). */
+    void applyDiagonal(std::uint32_t qubit, Amplitude d0,
+                       Amplitude d1);
+
+    /** Apply [[0, c01], [c10, 0]] to one qubit (X, Y and fused). */
+    void applyAntiDiagonal(std::uint32_t qubit, Amplitude c01,
+                           Amplitude c10);
+
+    /** Apply a CNOT (touches only the control=1 subspace). */
+    void applyCnot(std::uint32_t control, std::uint32_t target);
+
+    /** Apply one IR gate (dispatches to a specialized kernel). */
     void applyGate(const circuit::Gate &gate);
 
     /** Apply a whole circuit (no noise). */
     void applyCircuit(const circuit::Circuit &circuit);
+
+    /** Apply one fused op via the matching specialized kernel. */
+    void applyFusedGate(const circuit::FusedGate &fused);
+
+    /** Apply a fused circuit (no noise). */
+    void applyFused(const circuit::FusedCircuit &circuit);
 
     /** Apply a Pauli string (including its phase). */
     void applyPauli(const pauli::PauliString &string);
@@ -88,7 +123,35 @@ class StateVector
     std::size_t n;
     std::vector<Amplitude> amps;
 
-    void applyCnot(std::uint32_t control, std::uint32_t target);
+    void applyX(std::uint32_t qubit);
+    void applyY(std::uint32_t qubit);
+};
+
+/**
+ * Precomputed cumulative distribution over a state's basis
+ * probabilities, for drawing many samples from ONE state: O(2^n)
+ * once, then O(n) binary search per shot instead of the O(2^n)
+ * linear scan of StateVector::sampleBasisState().
+ *
+ * The prefix sums are accumulated in the same order as the linear
+ * scan, so with the same Rng, sample() returns exactly the same
+ * basis states — callers may switch between the two paths without
+ * changing any experiment's results.
+ */
+class SampleTable
+{
+  public:
+    /** Snapshot the state's probabilities (the state may change). */
+    explicit SampleTable(const StateVector &state);
+
+    /** Number of basis states (2^n). */
+    std::size_t size() const { return cdf.size(); }
+
+    /** Draw one basis state; consumes exactly one nextDouble(). */
+    std::uint64_t sample(Rng &rng) const;
+
+  private:
+    std::vector<double> cdf;
 };
 
 } // namespace fermihedral::sim

@@ -164,6 +164,99 @@ TEST(Noise, NoisyMeasurementIncreasesVariance)
     EXPECT_LT(degraded.mean, clean.mean + 1e-9);
 }
 
+TEST(Noise, MeasurementPlanPartitionsTerms)
+{
+    pauli::PauliSum h(3);
+    h.add(0.5, pauli::PauliString::fromLabel("ZZI"));
+    h.add(-1.5, pauli::PauliString::fromLabel("IZZ"));
+    h.add(0.25, pauli::PauliString::fromLabel("XXX"));
+    h.add(2.0, pauli::PauliString::fromLabel("III"));
+    h.simplify();
+
+    const MeasurementPlan plan(h);
+    EXPECT_EQ(plan.numQubits(), 3u);
+    EXPECT_NEAR(plan.identityEnergy(), 2.0, 1e-12);
+    // ZZI and IZZ are qubit-wise commuting (one Z family); XXX is
+    // its own family.
+    EXPECT_EQ(plan.groups().size(), 2u);
+    std::size_t measured_terms = 0;
+    for (const auto &group : plan.groups()) {
+        for (const auto &term : group.terms) {
+            EXPECT_NE(term.supportMask, 0u);
+            ++measured_terms;
+        }
+    }
+    EXPECT_EQ(measured_terms, 3u);
+}
+
+TEST(Noise, GroupedSampleEnergyMatchesUngroupedMean)
+{
+    // Same estimator target: grouped and ungrouped one-shot
+    // estimates must agree in the mean within shot noise.
+    const Circuit c = ghzCircuit(3);
+    StateVector state(3);
+    state.applyCircuit(c);
+
+    pauli::PauliSum h(3);
+    h.add(0.5, pauli::PauliString::fromLabel("ZZI"));
+    h.add(-1.5, pauli::PauliString::fromLabel("IZZ"));
+    h.add(0.25, pauli::PauliString::fromLabel("XXX"));
+    h.add(0.75, pauli::PauliString::fromLabel("XYY"));
+    h.add(2.0, pauli::PauliString::fromLabel("III"));
+    h.simplify();
+    const double exact = state.expectation(h);
+    const MeasurementPlan plan(h);
+
+    Rng rng_grouped(15), rng_ungrouped(16);
+    double grouped = 0.0, ungrouped = 0.0;
+    const int shots = 6000;
+    for (int s = 0; s < shots; ++s) {
+        grouped += sampleEnergy(state, plan, NoiseModel::ideal(),
+                                rng_grouped);
+        ungrouped += sampleEnergy(state, h, NoiseModel::ideal(),
+                                  rng_ungrouped);
+    }
+    grouped /= shots;
+    ungrouped /= shots;
+    EXPECT_NEAR(grouped, exact, 0.06);
+    EXPECT_NEAR(ungrouped, exact, 0.06);
+    EXPECT_NEAR(grouped, ungrouped, 0.1);
+}
+
+TEST(Noise, GroupedReadoutErrorBiasesTowardZero)
+{
+    // <Z> of |0> with readout flips shrinks to 1 - 2p through the
+    // grouped path just as through the ungrouped one.
+    StateVector state(1);
+    pauli::PauliSum h(1);
+    h.add(1.0, pauli::PauliString::fromLabel("Z"));
+    h.simplify();
+    const MeasurementPlan plan(h);
+
+    NoiseModel noise;
+    noise.readoutError = 0.2;
+    Rng rng(17);
+    double sum = 0.0;
+    const int shots = 20000;
+    for (int s = 0; s < shots; ++s)
+        sum += sampleEnergy(state, plan, noise, rng);
+    EXPECT_NEAR(sum / shots, 1.0 - 2.0 * 0.2, 0.02);
+}
+
+TEST(Noise, MeasureEnergyReportsElapsedTime)
+{
+    const Circuit c = ghzCircuit(2);
+    const StateVector initial(2);
+    pauli::PauliSum h(2);
+    h.add(1.0, pauli::PauliString::fromLabel("ZZ"));
+    h.simplify();
+    Rng rng(18);
+    const auto stats = measureEnergy(c, initial, h,
+                                     NoiseModel::ideal(), 100, rng);
+    EXPECT_GT(stats.elapsedSeconds, 0.0);
+    EXPECT_EQ(stats.shots, 100u);
+}
+
 TEST(Noise, IonqPresetMatchesPaperNumbers)
 {
     const auto profile = NoiseModel::ionqAria1();

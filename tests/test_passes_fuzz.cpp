@@ -93,6 +93,49 @@ TEST_P(OptimizerFuzz, PassesPreserveSemantics)
         << optimized.size();
 }
 
+TEST_P(OptimizerFuzz, FusionPreservesSemanticsExactly)
+{
+    Rng rng(9000 + GetParam());
+    const std::size_t qubits = 2 + rng.nextBelow(3);
+    const std::size_t gates = 10 + rng.nextBelow(120);
+    const auto original = randomCircuit(qubits, gates, rng);
+    const auto fused = circuit::fuseSingleQubitGates(original);
+    EXPECT_LE(fused.gates.size(), original.size());
+
+    const auto psi = randomState(qubits, rng);
+    sim::StateVector a = psi, b = psi;
+    a.applyCircuit(original);
+    b.applyFused(fused);
+    // Fusion multiplies the exact gate matrices: no global phase,
+    // so amplitudes agree to rounding.
+    double distance = 0.0;
+    for (std::size_t i = 0; i < a.dimension(); ++i)
+        distance += std::norm(a.amplitudes()[i] -
+                              b.amplitudes()[i]);
+    EXPECT_LT(std::sqrt(distance), 1e-12)
+        << "gates " << original.size() << " -> "
+        << fused.gates.size();
+}
+
+TEST_P(OptimizerFuzz, LoweringPreservesSemanticsExactly)
+{
+    Rng rng(10000 + GetParam());
+    const std::size_t qubits = 2 + rng.nextBelow(3);
+    const auto original = randomCircuit(qubits, 60, rng);
+    const auto lowered = circuit::lowerToMatrices(original);
+    ASSERT_EQ(lowered.gates.size(), original.size());
+
+    const auto psi = randomState(qubits, rng);
+    sim::StateVector a = psi, b = psi;
+    a.applyCircuit(original);
+    b.applyFused(lowered);
+    double distance = 0.0;
+    for (std::size_t i = 0; i < a.dimension(); ++i)
+        distance += std::norm(a.amplitudes()[i] -
+                              b.amplitudes()[i]);
+    EXPECT_LT(std::sqrt(distance), 1e-12);
+}
+
 TEST_P(OptimizerFuzz, OptimizationIsIdempotent)
 {
     Rng rng(8000 + GetParam());

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -112,6 +113,77 @@ TEST(Rng, SplitProducesIndependentStream)
     int equal = 0;
     for (int i = 0; i < 64; ++i)
         equal += parent.next() == child.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkLeavesParentSequenceUnchanged)
+{
+    Rng forked(33), untouched(33);
+    forked.fork(0);
+    forked.fork(1);
+    forked.fork(0xffffffffffffffffull);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(forked.next(), untouched.next());
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng parent(34);
+    Rng a = parent.fork(7);
+    Rng b = parent.fork(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkStreamsAreIndependent)
+{
+    // Distinct stream ids must give diverging streams, and every
+    // stream must differ from the parent's own output.
+    Rng parent(35);
+    Rng s0 = parent.fork(0);
+    Rng s1 = parent.fork(1);
+    Rng s2 = parent.fork(2);
+    int eq01 = 0, eq12 = 0, eq0p = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t v0 = s0.next();
+        const std::uint64_t v1 = s1.next();
+        const std::uint64_t v2 = s2.next();
+        eq01 += v0 == v1;
+        eq12 += v1 == v2;
+        eq0p += v0 == parent.next();
+    }
+    EXPECT_LT(eq01, 4);
+    EXPECT_LT(eq12, 4);
+    EXPECT_LT(eq0p, 4);
+}
+
+TEST(Rng, ForkStreamsCoverConsecutiveIds)
+{
+    // Shot runners fork ids 0..N-1; uniformity must not degrade for
+    // consecutive ids. Pool the first double of many streams.
+    Rng parent(36);
+    std::vector<int> buckets(8, 0);
+    const int streams = 8000;
+    for (int s = 0; s < streams; ++s) {
+        Rng child = parent.fork(static_cast<std::uint64_t>(s));
+        const double u = child.nextDouble();
+        ++buckets[static_cast<std::size_t>(u * 8.0)];
+    }
+    for (int b = 0; b < 8; ++b)
+        EXPECT_GT(buckets[b], 800) << "bucket " << b;
+}
+
+TEST(Rng, ForkDependsOnParentState)
+{
+    // fork() is keyed on the parent's current state: after the
+    // parent advances, the same stream id yields a fresh stream.
+    Rng parent(37);
+    Rng before = parent.fork(5);
+    parent.next();
+    Rng after = parent.fork(5);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += before.next() == after.next();
     EXPECT_LT(equal, 4);
 }
 

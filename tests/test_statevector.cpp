@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "sim/statevector.h"
@@ -133,6 +134,149 @@ TEST(StateVector, SamplingFollowsBornRule)
     for (int s = 0; s < shots; ++s)
         zeros += psi.sampleBasisState(rng) == 0;
     EXPECT_NEAR(zeros / double(shots), 0.75, 0.02);
+}
+
+TEST(StateVector, SpecializedKernelsMatchGenericUnitary)
+{
+    // Every specialized single-qubit kernel must compute exactly
+    // what the generic 2x2 applyUnitary computes with that gate's
+    // matrix, on random states.
+    Rng rng(31);
+    const GateKind kinds[] = {GateKind::H,  GateKind::X,
+                              GateKind::Y,  GateKind::Z,
+                              GateKind::S,  GateKind::Sdg,
+                              GateKind::Rx, GateKind::Ry,
+                              GateKind::Rz};
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t qubits = 1 + rng.nextBelow(4);
+        std::vector<Amplitude> amps(std::size_t{1} << qubits);
+        for (auto &amp : amps)
+            amp = Amplitude(rng.nextGaussian(), rng.nextGaussian());
+        StateVector base(qubits, amps);
+        base.normalize();
+        for (const GateKind kind : kinds) {
+            Gate gate{kind,
+                      static_cast<std::uint32_t>(
+                          rng.nextBelow(qubits)),
+                      0, 0.0};
+            if (circuit::isRotation(kind))
+                gate.angle = rng.nextDouble(-7.0, 7.0);
+            StateVector specialized = base, generic = base;
+            specialized.applyGate(gate);
+            const auto m = circuit::singleQubitMatrix(gate);
+            generic.applyUnitary(gate.qubit0, m.m00, m.m01, m.m10,
+                                 m.m11);
+            double distance = 0.0;
+            for (std::size_t i = 0; i < generic.dimension(); ++i)
+                distance +=
+                    std::norm(specialized.amplitudes()[i] -
+                              generic.amplitudes()[i]);
+            EXPECT_LT(std::sqrt(distance), 1e-12)
+                << "gate " << circuit::gateName(kind);
+        }
+    }
+}
+
+TEST(StateVector, CnotKernelMatchesFullScanReference)
+{
+    Rng rng(32);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t qubits = 2 + rng.nextBelow(4);
+        std::vector<Amplitude> amps(std::size_t{1} << qubits);
+        for (auto &amp : amps)
+            amp = Amplitude(rng.nextGaussian(), rng.nextGaussian());
+        const auto control = static_cast<std::uint32_t>(
+            rng.nextBelow(qubits));
+        auto target = static_cast<std::uint32_t>(
+            rng.nextBelow(qubits - 1));
+        if (target >= control)
+            ++target;
+
+        // Reference: scan all indices, swap the control=1 pairs.
+        std::vector<Amplitude> expected = amps;
+        const std::size_t cmask = std::size_t{1} << control;
+        const std::size_t tmask = std::size_t{1} << target;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            if ((i & cmask) && !(i & tmask))
+                std::swap(expected[i], expected[i | tmask]);
+        }
+
+        StateVector psi(qubits, amps);
+        psi.applyCnot(control, target);
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(psi.amplitudes()[i], expected[i])
+                << "index " << i << " control " << control
+                << " target " << target;
+    }
+}
+
+TEST(StateVector, SampleTableMatchesLinearScanBitForBit)
+{
+    Rng rng(33);
+    StateVector psi(5);
+    circuit::Circuit c(5);
+    for (std::uint32_t q = 0; q < 5; ++q) {
+        c.add(GateKind::H, q);
+        c.add(GateKind::Rz, q, rng.nextDouble(0, 6));
+    }
+    c.addCnot(0, 3);
+    c.addCnot(1, 4);
+    psi.applyCircuit(c);
+
+    const SampleTable table(psi);
+    EXPECT_EQ(table.size(), psi.dimension());
+    Rng rng_linear(77), rng_table(77);
+    for (int s = 0; s < 2000; ++s) {
+        EXPECT_EQ(table.sample(rng_table),
+                  psi.sampleBasisState(rng_linear));
+    }
+}
+
+TEST(StateVector, SampleTableFollowsBornRule)
+{
+    StateVector psi(1);
+    psi.applyGate({GateKind::Ry, 0, 0,
+                   2.0 * std::acos(std::sqrt(0.75))});
+    const SampleTable table(psi);
+    Rng rng(9);
+    int zeros = 0;
+    const int shots = 20000;
+    for (int s = 0; s < shots; ++s)
+        zeros += table.sample(rng) == 0;
+    EXPECT_NEAR(zeros / double(shots), 0.75, 0.02);
+}
+
+TEST(StateVector, FastExpectationMatchesTermByTerm)
+{
+    // The grouped single-pass expectation must agree with the
+    // per-string definition on random sums over random states.
+    Rng rng(34);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t qubits = 1 + rng.nextBelow(5);
+        std::vector<Amplitude> amps(std::size_t{1} << qubits);
+        for (auto &amp : amps)
+            amp = Amplitude(rng.nextGaussian(), rng.nextGaussian());
+        StateVector psi(qubits, amps);
+        psi.normalize();
+
+        pauli::PauliSum h(qubits);
+        const int terms = 1 + static_cast<int>(rng.nextBelow(12));
+        for (int t = 0; t < terms; ++t) {
+            pauli::PauliString p(qubits);
+            for (std::size_t q = 0; q < qubits; ++q)
+                p.setOp(q, static_cast<pauli::PauliOp>(
+                               rng.nextBelow(4)));
+            h.add(rng.nextGaussian(), p);
+        }
+        h.simplify();
+
+        double per_term = 0.0;
+        for (const auto &term : h.terms())
+            per_term += (term.coefficient *
+                         psi.expectation(term.string))
+                            .real();
+        EXPECT_NEAR(psi.expectation(h), per_term, 1e-10);
+    }
 }
 
 TEST(StateVector, NormPreservedByCircuits)
