@@ -23,6 +23,7 @@ main(int argc, char **argv)
         flags.addInt("max-modes", 4, "largest mode count");
     const auto *timeout =
         flags.addDouble("timeout", 20.0, "budget per run (s)");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

@@ -14,12 +14,76 @@
 
 #include <cstdio>
 
+#include "common/flags.h"
 #include "core/annealing.h"
 #include "core/descent_solver.h"
 #include "encodings/linear.h"
 #include "fermion/models.h"
 
 namespace fermihedral::bench {
+
+/**
+ * The shared SAT-engine flags: every descent-running binary
+ * registers the same portfolio/preprocessing knobs with one
+ * EngineFlags::add(flags) call. Registration also arms an active
+ * overlay that descentOptions() (and therefore
+ * solveForHamiltonian()) applies, so the knobs reach every descent
+ * in the binary without threading them through each call site.
+ */
+struct EngineFlags
+{
+    const std::int64_t *threads = nullptr;
+    const std::int64_t *instances = nullptr;
+    const bool *racing = nullptr;
+    const bool *preprocess = nullptr;
+
+    static EngineFlags
+    add(FlagSet &flags)
+    {
+        EngineFlags engine;
+        engine.threads = flags.addInt(
+            "threads", 1,
+            "solver threads per SAT step (0 = hardware)");
+        engine.instances = flags.addInt(
+            "instances", 0,
+            "portfolio instances (0 = one per thread)");
+        engine.racing = flags.addBool(
+            "racing", false,
+            "first-finisher-wins arbitration with clause sharing "
+            "(faster, but winner may vary run to run)");
+        engine.preprocess = flags.addBool(
+            "preprocess", true,
+            "simplify the clause database before solving");
+        storage() = engine;
+        return engine;
+    }
+
+    void
+    apply(core::DescentOptions &options) const
+    {
+        options.threads = static_cast<std::size_t>(
+            *threads < 0 ? 0 : *threads);
+        options.portfolioInstances = static_cast<std::size_t>(
+            *instances < 0 ? 0 : *instances);
+        options.deterministic = !*racing;
+        options.preprocess = *preprocess;
+    }
+
+    /** The overlay armed by add(), if any (one per binary). */
+    static const EngineFlags *
+    active()
+    {
+        return storage().threads ? &storage() : nullptr;
+    }
+
+  private:
+    static EngineFlags &
+    storage()
+    {
+        static EngineFlags registered;
+        return registered;
+    }
+};
 
 /** Paper configuration names (Sec. 5.1). */
 enum class Config
@@ -38,6 +102,8 @@ descentOptions(Config config, double step_timeout,
     options.vacuumPreservation = vacuum;
     options.stepTimeoutSeconds = step_timeout;
     options.totalTimeoutSeconds = total_timeout;
+    if (const EngineFlags *engine = EngineFlags::active())
+        engine->apply(options);
     return options;
 }
 

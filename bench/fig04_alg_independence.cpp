@@ -95,6 +95,7 @@ main(int argc, char **argv)
         "samples", 12, "optimal encodings sampled per mode count");
     const auto *timeout =
         flags.addDouble("timeout", 30.0, "SAT budget per mode (s)");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

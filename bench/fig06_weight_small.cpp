@@ -25,6 +25,7 @@ main(int argc, char **argv)
         flags.addInt("max-modes", 5, "largest mode count");
     const auto *timeout =
         flags.addDouble("timeout", 60.0, "budget per mode count (s)");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

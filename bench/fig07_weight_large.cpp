@@ -29,6 +29,7 @@ main(int argc, char **argv)
         flags.addInt("max-modes", 13, "largest mode count");
     const auto *timeout =
         flags.addDouble("timeout", 45.0, "budget per mode count (s)");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

@@ -12,9 +12,14 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/annealing.h"
+#include "core/descent_solver.h"
+#include "core/encoding_model.h"
 #include "encodings/encoding.h"
 #include "encodings/linear.h"
 #include "fermion/models.h"
+#include "sat/dimacs.h"
+#include "sat/portfolio.h"
+#include "sat/preprocess.h"
 #include "sat/solver.h"
 #include "sat/totalizer.h"
 #include "sim/exact.h"
@@ -319,6 +324,105 @@ BM_SatSolveRandom3Sat(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SatSolveRandom3Sat)->Arg(50)->Arg(100);
+
+void
+BM_PortfolioSolveRandom3Sat(benchmark::State &state)
+{
+    // The full new-engine path — preprocessing plus a racing
+    // portfolio of `instances` — on the same instances as
+    // BM_SatSolveRandom3Sat's 100-variable arg.
+    const std::size_t instances =
+        static_cast<std::size_t>(state.range(0));
+    const int num_vars = 100, clauses = 400;
+    for (auto _ : state) {
+        state.PauseTiming();
+        Rng rng(77);
+        sat::PortfolioOptions options;
+        options.instances = instances;
+        options.threads = instances;
+        options.deterministic = false;
+        sat::PortfolioSolver solver(options);
+        for (int v = 0; v < num_vars; ++v)
+            solver.newVar();
+        for (int c = 0; c < clauses; ++c) {
+            const auto v1 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            const auto v2 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            const auto v3 = static_cast<sat::Var>(
+                rng.nextBelow(num_vars));
+            solver.addTernary(sat::mkLit(v1, rng.nextBool()),
+                              sat::mkLit(v2, rng.nextBool()),
+                              sat::mkLit(v3, rng.nextBool()));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_PortfolioSolveRandom3Sat)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+/** The N=4 encoding instance as a recorded CNF, built once. */
+const sat::Cnf &
+encodingCnf()
+{
+    static const sat::Cnf cnf = [] {
+        sat::Solver solver;
+        solver.enableRecording();
+        core::EncodingModelOptions options;
+        options.modes = 4;
+        options.costCap =
+            enc::bravyiKitaev(4).totalWeight();
+        core::EncodingModel model(solver, options);
+        return sat::snapshotCnf(solver);
+    }();
+    return cnf;
+}
+
+void
+BM_SimplifyEncodingInstance(benchmark::State &state)
+{
+    // One full preprocessing run (subsumption + self-subsuming
+    // resolution + BVE) over the N=4 full-SAT encoding instance.
+    const sat::Cnf &cnf = encodingCnf();
+    std::size_t eliminated = 0;
+    for (auto _ : state) {
+        sat::Simplifier simp(cnf.numVars);
+        for (const auto &clause : cnf.clauses)
+            simp.addClause(clause);
+        simp.run();
+        eliminated = simp.stats().eliminatedVariables;
+        benchmark::DoNotOptimize(eliminated);
+    }
+    state.counters["eliminated_vars"] =
+        static_cast<double>(eliminated);
+    state.counters["clauses"] =
+        static_cast<double>(cnf.clauses.size());
+}
+BENCHMARK(BM_SimplifyEncodingInstance);
+
+void
+BM_DescentSolve(benchmark::State &state)
+{
+    // Wall-clock of a full Algorithm 1 descent (N=3, full SAT,
+    // deterministic) with preprocessing off (arg 0) or on (arg 1).
+    core::DescentOptions options;
+    options.stepTimeoutSeconds = 30.0;
+    options.totalTimeoutSeconds = 60.0;
+    options.preprocess = state.range(0) != 0;
+    std::size_t cost = 0;
+    for (auto _ : state) {
+        core::DescentSolver solver(3, options);
+        const auto result = solver.solve();
+        cost = result.cost;
+        benchmark::DoNotOptimize(result.cost);
+    }
+    state.counters["cost"] = static_cast<double>(cost);
+}
+BENCHMARK(BM_DescentSolve)->Arg(0)->Arg(1)->UseRealTime();
 
 void
 BM_TotalizerConstruction(benchmark::State &state)

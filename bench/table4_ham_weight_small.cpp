@@ -66,6 +66,7 @@ main(int argc, char **argv)
         flags.addDouble("timeout", 45.0, "SAT budget per case (s)");
     const auto *large =
         flags.addBool("large", false, "run the full paper range");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

@@ -48,6 +48,7 @@ main(int argc, char **argv)
         flags.addDouble("timeout", 60.0, "SAT budget per case (s)");
     const auto *time =
         flags.addDouble("time", 1.0, "evolution time t");
+    bench::EngineFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
 

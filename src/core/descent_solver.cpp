@@ -21,6 +21,17 @@ DescentSolver::DescentSolver(
 {
 }
 
+std::unique_ptr<sat::PortfolioSolver>
+DescentSolver::makeSolver() const
+{
+    sat::PortfolioOptions portfolio;
+    portfolio.threads = options.threads;
+    portfolio.instances = options.portfolioInstances;
+    portfolio.deterministic = options.deterministic;
+    portfolio.preprocess = options.preprocess;
+    return std::make_unique<sat::PortfolioSolver>(portfolio);
+}
+
 std::size_t
 DescentSolver::baselineCost(const enc::FermionEncoding &bk) const
 {
@@ -79,7 +90,7 @@ DescentSolver::solve()
     result.cost = start_cost;
 
     Timer construct_timer;
-    solver = std::make_unique<sat::Solver>();
+    solver = makeSolver();
     EncodingModelOptions model_options;
     model_options.modes = modes;
     model_options.algebraicIndependence =
@@ -132,6 +143,7 @@ DescentSolver::solve()
     if (best == 0)
         result.provedOptimal = true;
     result.solveSeconds = solve_timer.seconds();
+    result.satStats = solver->portfolioStats();
     lastResult = result;
     return result;
 }
@@ -151,7 +163,7 @@ DescentSolver::enumerateOptimal(std::size_t count,
     // assumption-free model with a fresh solver would be costly;
     // instead rebuild once at the optimal bound).
     Timer timer;
-    solver = std::make_unique<sat::Solver>();
+    solver = makeSolver();
     EncodingModelOptions model_options;
     model_options.modes = modes;
     model_options.algebraicIndependence =

@@ -38,6 +38,7 @@
 #include "core/encoding_model.h"
 #include "encodings/encoding.h"
 #include "fermion/operators.h"
+#include "sat/portfolio.h"
 
 namespace fermihedral::core {
 
@@ -58,6 +59,31 @@ struct DescentOptions
 
     /** Wall-clock budget for the whole descent (seconds). */
     double totalTimeoutSeconds = 300.0;
+
+    /** Threads racing each SAT step (0 = hardware concurrency). */
+    std::size_t threads = 1;
+
+    /**
+     * Diversified solver instances in the portfolio (0 = one per
+     * thread). With more instances than threads the pool
+     * multiplexes them; instance 0 always searches like the plain
+     * solver did.
+     */
+    std::size_t portfolioInstances = 0;
+
+    /**
+     * Fixed winner arbitration (lowest decisive instance index, no
+     * cancellation, no clause sharing): descent results are then
+     * bit-identical for every thread count as long as no step
+     * times out. Racing mode (false) is faster — first decisive
+     * instance wins and cancels the rest, learnt clauses are
+     * shared — but the tie-break between equally-cheap encodings
+     * may differ run to run.
+     */
+    bool deterministic = true;
+
+    /** Simplify the clause database before the first SAT call. */
+    bool preprocess = true;
 
     /** Override the initial bound (default: Bravyi-Kitaev cost). */
     std::optional<std::size_t> initialBound;
@@ -99,6 +125,14 @@ struct DescentResult
 
     /** (cost, elapsed seconds) after each improving model. */
     std::vector<std::pair<std::size_t, double>> trajectory;
+
+    /**
+     * SAT-engine counters for the whole run: per-instance search
+     * work (propagations/conflicts/learnt literals), preprocessing
+     * effect (eliminated variables, subsumed clauses, simplified
+     * instance size) and portfolio arbitration outcomes.
+     */
+    sat::PortfolioStats satStats;
 };
 
 /** Searches optimal encodings for one mode count. */
@@ -129,9 +163,11 @@ class DescentSolver
     DescentOptions options;
     std::vector<fermion::WeightedSubset> structure;
 
-    std::unique_ptr<sat::Solver> solver;
+    std::unique_ptr<sat::PortfolioSolver> solver;
     std::unique_ptr<EncodingModel> model;
     std::optional<DescentResult> lastResult;
+
+    std::unique_ptr<sat::PortfolioSolver> makeSolver() const;
 
     std::size_t baselineCost(const enc::FermionEncoding &bk) const;
 };

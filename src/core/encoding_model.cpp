@@ -9,7 +9,7 @@ namespace fermihedral::core {
 using sat::Lit;
 using sat::mkLit;
 
-EncodingModel::EncodingModel(sat::Solver &solver,
+EncodingModel::EncodingModel(sat::SolverBase &solver,
                              const EncodingModelOptions &options)
     : solver(solver), formula(solver), options(options)
 {
@@ -28,6 +28,26 @@ EncodingModel::EncodingModel(sat::Solver &solver,
         buildHamiltonianCost();
     totalizer = std::make_unique<sat::Totalizer>(
         solver, costInputs, options.costCap);
+    freezeInterface();
+}
+
+void
+EncodingModel::freezeInterface()
+{
+    // The descent loop keeps talking to these variables after the
+    // first solve: decode()/warmStart()/blockCurrentSolution() use
+    // the operator bits, boundCostAtMost()/costAtMostAssumption()
+    // the totalizer outputs. A preprocessing solver must therefore
+    // never eliminate them; everything else (Tseitin auxiliaries,
+    // totalizer internals) is fair game.
+    for (const auto &per_string : vars) {
+        for (const auto &[b1, b2] : per_string) {
+            solver.freeze(b1);
+            solver.freeze(b2);
+        }
+    }
+    for (const sat::Lit lit : totalizer->outputLits())
+        solver.freeze(sat::litVar(lit));
 }
 
 void

@@ -25,7 +25,13 @@
  * Key invariants:
  *  - All constraints are built into the solver by the constructor;
  *    afterwards the model only reads literals, asserts bounds and
- *    decodes. The solver must outlive the model.
+ *    decodes. The solver must outlive the model. Any SolverBase
+ *    works: the plain CDCL engine or the preprocessing portfolio.
+ *  - The model's interface variables — every operator bit and
+ *    every totalizer output — are freeze()d on the solver, so a
+ *    preprocessing solver keeps them addressable for the descent
+ *    loop's later bounds, assumptions, blocking clauses and
+ *    decode() reads.
  *  - decode() requires the solver to hold a satisfying model; the
  *    decoded encoding then satisfies every enabled constraint and
  *    costOf(decode()) is the exact objective the totalizer counted.
@@ -47,7 +53,7 @@
 #include "encodings/encoding.h"
 #include "fermion/operators.h"
 #include "sat/formula.h"
-#include "sat/solver.h"
+#include "sat/solver_base.h"
 #include "sat/totalizer.h"
 
 namespace fermihedral::core {
@@ -83,7 +89,7 @@ class EncodingModel
 {
   public:
     /** Build all constraints into the given solver. */
-    EncodingModel(sat::Solver &solver,
+    EncodingModel(sat::SolverBase &solver,
                   const EncodingModelOptions &options);
 
     /** bit1 literal of string s, qubit q (paper's E(sigma).1). */
@@ -119,7 +125,7 @@ class EncodingModel
     std::size_t numCostInputs() const { return costInputs.size(); }
 
   private:
-    sat::Solver &solver;
+    sat::SolverBase &solver;
     sat::Formula formula;
     EncodingModelOptions options;
 
@@ -136,6 +142,7 @@ class EncodingModel
     std::unique_ptr<sat::Totalizer> totalizer;
 
     void buildVariables();
+    void freezeInterface();
     void buildAnticommutativity();
     void buildAlgebraicIndependence();
     void buildVacuumPreservation();

@@ -14,6 +14,10 @@
  *    whitespace are normalised.
  *  - Internal 0-based variables map to DIMACS 1-based integers as
  *    var + 1, negative for negated literals.
+ *  - parseDimacs() rejects clauses containing a duplicate or
+ *    contradictory (x and NOT x) literal outright: such clauses
+ *    are invariably generator bugs, and catching them at the
+ *    parser keeps them out of the solver and the simplifier.
  *  - snapshotCnf() captures the verbatim addClause() stream — it
  *    requires Solver::enableRecording() before the first clause.
  */
@@ -39,8 +43,15 @@ struct Cnf
     /** Append a clause (variables are created on demand). */
     void addClause(std::span<const Lit> literals);
 
-    /** Load every clause into a solver; returns false on conflict. */
-    bool loadInto(Solver &solver) const;
+    /**
+     * Load every clause into a solver. Returns false when the
+     * solver detects a conflict at load time; how much it detects
+     * is the solver's affair (the plain Solver unit-propagates per
+     * clause, a staging solver like PortfolioSolver reports only
+     * direct contradictions and finds the rest at the first
+     * solve()). UNSAT itself is never lost — solve() still says so.
+     */
+    bool loadInto(SolverBase &solver) const;
 };
 
 /** Render a CNF in DIMACS format. */

@@ -4,7 +4,7 @@
 
 namespace fermihedral::sat {
 
-Formula::Formula(Solver &solver) : sat(solver)
+Formula::Formula(SolverBase &solver) : sat(solver)
 {
 }
 

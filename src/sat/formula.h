@@ -12,10 +12,11 @@
  *  - Every mk*() gate is a full equivalence (y <-> gate(inputs)),
  *    so formulas stay equisatisfiable with the circuit they encode
  *    regardless of input polarity.
- *  - All variables and clauses go into the Solver passed at
- *    construction; Formula itself holds no clause state beyond the
- *    shared true-literal, and several Formulas may target one
- *    solver.
+ *  - All variables and clauses go into the solver passed at
+ *    construction (any SolverBase: the plain CDCL engine or the
+ *    preprocessing portfolio); Formula itself holds no clause
+ *    state beyond the shared true-literal, and several Formulas
+ *    may target one solver.
  *  - Gate clause counts are fixed: and/or cost |inputs| + 1
  *    clauses, a binary xor costs 4; mkXorChain is linear in the
  *    input count.
@@ -27,19 +28,19 @@
 #include <span>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/solver_base.h"
 #include "sat/types.h"
 
 namespace fermihedral::sat {
 
-/** Gate-level formula builder writing CNF into a Solver. */
+/** Gate-level formula builder writing CNF into a SolverBase. */
 class Formula
 {
   public:
     /** All clauses and variables are created in the given solver. */
-    explicit Formula(Solver &solver);
+    explicit Formula(SolverBase &solver);
 
-    Solver &solver() { return sat; }
+    SolverBase &solver() { return sat; }
 
     /** Fresh free literal. */
     Lit newLit();
@@ -86,7 +87,7 @@ class Formula
     void assertXorEquals(std::span<const Lit> inputs, bool parity);
 
   private:
-    Solver &sat;
+    SolverBase &sat;
     Lit constTrue = litUndef;
 };
 

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Parallel portfolio SAT engine with clause-database preprocessing.
+ *
+ * PortfolioSolver presents the SolverBase surface but, underneath,
+ * stages the incoming formula, simplifies it once
+ * (sat/preprocess.h) and then races N diversified CDCL instances
+ * (different EVSIDS seeds, phase policies and restart schedules)
+ * over a shared ThreadPool on every solve() call. Instances
+ * exchange short low-LBD learnt clauses through a lock-light
+ * append-only buffer; the first decisive finisher cancels the rest
+ * through the Budget stop flag.
+ *
+ * Two arbitration modes:
+ *  - racing (deterministic = false): first Sat/Unsat wins, all
+ *    other instances are stopped, learnt clauses flow freely. The
+ *    fastest mode, but the winning instance — and hence the model —
+ *    may differ run to run.
+ *  - deterministic (the default): clause sharing is off, nobody is
+ *    cancelled, and the winner is the decisive instance with the
+ *    lowest index. Every instance is then an isolated deterministic
+ *    machine, so results are bit-identical for every thread count
+ *    whenever budgets do not bind (conflict budgets, or wall-clock
+ *    limits generous enough that no instance times out).
+ *
+ * Key invariants:
+ *  - Variable numbering is shared: newVar()/addClause() broadcast
+ *    to every instance in call order, so literal meanings agree
+ *    across the portfolio and with the caller.
+ *  - Preprocessing runs once, on the first solve() call, and only
+ *    when that call has no assumptions (incremental assumptions
+ *    present => preprocessing is skipped entirely). Frozen
+ *    variables survive it; clauses and assumptions arriving after
+ *    the first solve must mention only frozen or surviving
+ *    variables (enforced).
+ *  - After Sat, modelValue() is defined for every variable: the
+ *    winner's model is extended over eliminated variables with the
+ *    simplifier's witness stack before it is published.
+ *  - With instances = 1, deterministic = true and preprocessing
+ *    off, solve behaviour is bit-identical to a plain Solver fed
+ *    the same calls.
+ *  - Budget.maxSeconds bounds the whole solve() call's wall
+ *    clock, not each instance: with fewer threads than instances
+ *    the stragglers only get whatever the earlier finishers left
+ *    over. Conflict budgets stay per instance.
+ */
+
+#ifndef FERMIHEDRAL_SAT_PORTFOLIO_H
+#define FERMIHEDRAL_SAT_PORTFOLIO_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "sat/preprocess.h"
+#include "sat/solver.h"
+#include "sat/solver_base.h"
+#include "sat/types.h"
+
+namespace fermihedral::sat {
+
+/**
+ * Lock-light learnt-clause exchange: an append-only publish log
+ * with one read cursor per instance. The single mutex is taken only
+ * when a glue clause is learnt or a restart imports — both rare
+ * next to propagation — never per propagation or per decision.
+ */
+class ClauseExchange
+{
+  public:
+    ClauseExchange(std::size_t instances, std::uint32_t max_lbd,
+                   std::size_t max_size);
+
+    /** LBD ceiling for published clauses (units always pass). */
+    std::uint32_t maxLbd() const { return lbdLimit; }
+
+    /** Length ceiling for published clauses. */
+    std::size_t maxSize() const { return sizeLimit; }
+
+    /** Append a clause learnt by `from`. */
+    void publish(std::size_t from, std::span<const Lit> literals,
+                 std::uint32_t lbd);
+
+    /** A clause in transit, with the publisher's LBD. */
+    struct SharedClause
+    {
+        std::vector<Lit> lits;
+        std::uint32_t lbd;
+    };
+
+    /**
+     * Append all clauses published by other instances since
+     * `instance` last collected. The publisher's LBD rides along
+     * so importers keep the glue protection reduceDb() grants.
+     */
+    void collect(std::size_t instance,
+                 std::vector<SharedClause> &out);
+
+    /** Total clauses ever published. */
+    std::uint64_t published() const;
+
+  private:
+    struct Entry
+    {
+        std::size_t from;
+        SharedClause clause;
+    };
+
+    std::uint32_t lbdLimit;
+    std::size_t sizeLimit;
+    mutable std::mutex mutex;
+    /** Entries every cursor consumed are pruned; this counts them. */
+    std::uint64_t totalPruned = 0;
+    std::vector<Entry> log;
+    std::vector<std::size_t> cursors;
+};
+
+/** Configuration of a PortfolioSolver. */
+struct PortfolioOptions
+{
+    /**
+     * Number of diversified solver instances (0 selects the
+     * resolved thread count). Instance 0 always runs the default
+     * SolverConfig, so a 1-instance portfolio searches exactly like
+     * a plain Solver.
+     */
+    std::size_t instances = 0;
+
+    /** Threads racing the instances (0 = hardware concurrency). */
+    std::size_t threads = 1;
+
+    /** Fixed lowest-decisive-index arbitration (see file docs). */
+    bool deterministic = true;
+
+    /** Simplify the clause database before the first solve. */
+    bool preprocess = true;
+
+    /** Simplifier effort limits. */
+    SimplifierOptions simplify;
+
+    /** Exchange learnt clauses (racing mode only). */
+    bool shareClauses = true;
+
+    /** LBD ceiling for shared clauses. */
+    std::uint32_t shareMaxLbd = 2;
+
+    /** Length ceiling for shared clauses. */
+    std::size_t shareMaxSize = 8;
+};
+
+/** Counters describing the portfolio's work so far. */
+struct PortfolioStats
+{
+    /** Sum of every instance's counters. */
+    SolverStats aggregate;
+
+    /** Counters of the last winning instance. */
+    SolverStats winner;
+
+    /** Preprocessing result (all zero when preprocessing is off). */
+    SimplifierStats simplifier;
+
+    /** Index of the instance that decided the last solve. */
+    std::size_t lastWinner = 0;
+
+    /** solve() calls so far. */
+    std::size_t solves = 0;
+
+    /** Solves decided by Sat / Unsat / neither. */
+    std::size_t satAnswers = 0;
+    std::size_t unsatAnswers = 0;
+    std::size_t unknownAnswers = 0;
+};
+
+/** The portfolio front-end (see file docs). */
+class PortfolioSolver final : public SolverBase
+{
+  public:
+    explicit PortfolioSolver(const PortfolioOptions &options = {});
+    ~PortfolioSolver() override;
+
+    Var newVar() override;
+    std::size_t numVars() const override { return varCount; }
+    std::size_t numClauses() const override;
+
+    using SolverBase::addClause;
+    bool addClause(std::span<const Lit> literals) override;
+
+    SolveStatus solve(std::span<const Lit> assumptions = {},
+                      const Budget &budget = {}) override;
+
+    /**
+     * Force the build (preprocessing + instance construction) now
+     * instead of on the first solve(). Lets instrumentation read
+     * portfolioStats().simplifier without solving anything.
+     */
+    void prepare();
+
+    using SolverBase::modelValue;
+    LBool modelValue(Var var) const override;
+
+    void setPolarity(Var var, bool value) override;
+    void boostActivity(Var var, double amount) override;
+    void freeze(Var var) override;
+
+    bool inconsistent() const override;
+    const SolverStats &stats() const override;
+
+    /** Number of instances that will race (>= 1). */
+    std::size_t numInstances() const { return instanceCount; }
+
+    /** Threads used per solve (>= 1). */
+    std::size_t numThreads() const { return threadCount; }
+
+    const PortfolioStats &portfolioStats() const;
+
+    /**
+     * The diversified configuration instance `index` runs with.
+     * Exposed so tests can pin down the diversification contract.
+     */
+    static SolverConfig instanceConfig(std::size_t index);
+
+  private:
+    PortfolioOptions options;
+    std::size_t instanceCount;
+    std::size_t threadCount;
+
+    // Staged formula (before the instances are built).
+    std::size_t varCount = 0;
+    std::vector<std::vector<Lit>> pendingClauses;
+    std::vector<std::pair<Var, bool>> pendingPolarity;
+    std::vector<std::pair<Var, double>> pendingActivity;
+    std::vector<char> frozenVars;
+    /** Values forced by staged unit clauses (conflict detection). */
+    std::vector<LBool> stagedUnits;
+    bool stagedUnsat = false;
+
+    // Built state.
+    bool built = false;
+    std::unique_ptr<Simplifier> simplifier;
+    std::vector<std::unique_ptr<Solver>> instances;
+    std::unique_ptr<ClauseExchange> exchange;
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<LBool> fullModel;
+    bool topLevelUnsat = false;
+
+    mutable PortfolioStats portfolio;
+    mutable SolverStats aggregateCache;
+
+    void build(bool skip_preprocess);
+    void checkIncrementalLits(std::span<const Lit> literals) const;
+    void publishModel(const Solver &winner);
+};
+
+} // namespace fermihedral::sat
+
+#endif // FERMIHEDRAL_SAT_PORTFOLIO_H

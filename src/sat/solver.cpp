@@ -6,10 +6,12 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "sat/portfolio.h"
 
 namespace fermihedral::sat {
 
-Solver::Solver()
+Solver::Solver(const SolverConfig &config)
+    : config(config), rng(config.seed)
 {
     arena.reserve(1 << 16);
 }
@@ -91,7 +93,11 @@ Solver::newVar()
     varLevel.push_back(0);
     varReason.push_back(crefUndef);
     activity.push_back(0.0);
-    polarity.push_back(1); // default: branch negative, like MiniSat
+    // Saved-phase convention: polarity[v] == 1 branches negative
+    // (the MiniSat default); the config may flip or randomize it.
+    const bool phase = config.randomizePhases ? rng.nextBool()
+                                              : config.initialPhase;
+    polarity.push_back(phase ? 0 : 1);
     seen.push_back(0);
     heapIndex.push_back(-1);
     watches.emplace_back();
@@ -277,6 +283,16 @@ Solver::varBumpActivity(Var var)
 Lit
 Solver::pickBranchLit()
 {
+    // Occasional random decisions diversify portfolio instances
+    // away from pure EVSIDS order (never taken at the default
+    // randomBranchFreq of 0, keeping the solo solver deterministic
+    // in its call sequence alone).
+    if (config.randomBranchFreq > 0.0 && !heapEmpty() &&
+        rng.nextDouble() < config.randomBranchFreq) {
+        const Var var = heap[rng.nextBelow(heap.size())];
+        if (assigns[var] == LBool::Undef)
+            return mkLit(var, polarity[var]);
+    }
     while (!heapEmpty()) {
         const Var var = heapRemoveMax();
         if (assigns[var] == LBool::Undef)
@@ -498,15 +514,90 @@ Solver::garbageCollectIfNeeded()
 }
 
 // --------------------------------------------------------------------
-// Clause addition
+// Clause exchange
 // --------------------------------------------------------------------
 
-bool
-Solver::addClause(std::initializer_list<Lit> literals)
+void
+Solver::connectExchange(ClauseExchange *new_exchange,
+                        std::size_t instance_id)
 {
-    return addClause(std::span<const Lit>(literals.begin(),
-                                          literals.size()));
+    exchange = new_exchange;
+    exchangeId = instance_id;
 }
+
+void
+Solver::publishLearnt(std::span<const Lit> literals,
+                      std::uint32_t lbd)
+{
+    if (!exchange || literals.empty())
+        return;
+    if (literals.size() > exchange->maxSize() ||
+        (literals.size() > 1 && lbd > exchange->maxLbd())) {
+        return;
+    }
+    exchange->publish(exchangeId, literals, lbd);
+    ++statistics.sharedOut;
+}
+
+bool
+Solver::adoptClause(std::span<const Lit> literals,
+                    std::uint32_t lbd)
+{
+    require(decisionLevel() == 0,
+            "shared clauses may only be adopted at level 0");
+    static thread_local std::vector<Lit> scratch;
+    scratch.clear();
+    for (const Lit lit : literals) {
+        require(static_cast<std::size_t>(litVar(lit)) < numVars(),
+                "shared clause references unknown variable");
+        if (value(lit) == LBool::True)
+            return true; // already satisfied at level 0
+        if (value(lit) == LBool::False)
+            continue; // falsified at level 0: drop literal
+        scratch.push_back(lit);
+    }
+    if (scratch.empty()) {
+        ok = false;
+        return false;
+    }
+    if (scratch.size() == 1) {
+        uncheckedEnqueue(scratch[0], crefUndef);
+        if (propagate() != crefUndef)
+            ok = false;
+        return ok;
+    }
+    const ClauseRef ref = allocClause(scratch, true);
+    // Keep the publisher's LBD (clamped: level-0 filtering may
+    // have shortened the clause) so glue clauses retain the
+    // keep-forever protection reduceDb() grants them.
+    clauseLbd(ref,
+              std::min(lbd, static_cast<std::uint32_t>(
+                                scratch.size() - 1)));
+    learntClauses.push_back(ref);
+    attachClause(ref);
+    return true;
+}
+
+bool
+Solver::importSharedClauses()
+{
+    if (!exchange)
+        return true;
+    static thread_local std::vector<ClauseExchange::SharedClause>
+        imports;
+    imports.clear();
+    exchange->collect(exchangeId, imports);
+    for (const auto &shared : imports) {
+        ++statistics.sharedIn;
+        if (!adoptClause(shared.lits, shared.lbd))
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Clause addition
+// --------------------------------------------------------------------
 
 bool
 Solver::addClause(std::span<const Lit> literals)
@@ -586,10 +677,31 @@ Solver::now() const
         .count();
 }
 
+std::uint64_t
+Solver::restartLimit(std::uint64_t round) const
+{
+    if (config.restartSchedule == SolverConfig::Restarts::Geometric) {
+        double limit = config.restartBase;
+        for (std::uint64_t i = 0; i < round; ++i) {
+            limit *= config.restartGrowth;
+            // Saturate well below 2^63: casting an out-of-range
+            // double to an integer is undefined behaviour.
+            if (limit >= 1e18)
+                return std::uint64_t{1} << 60;
+        }
+        return static_cast<std::uint64_t>(limit);
+    }
+    return config.restartBase * luby(round);
+}
+
 bool
 Solver::budgetExpired(const Budget &budget, double start_time,
                       std::uint64_t start_conflicts) const
 {
+    if (budget.stopFlag &&
+        budget.stopFlag->load(std::memory_order_relaxed)) {
+        return true;
+    }
     if (budget.maxConflicts >= 0 &&
         statistics.conflicts - start_conflicts >=
             static_cast<std::uint64_t>(budget.maxConflicts)) {
@@ -608,7 +720,7 @@ Solver::search(const Budget &budget, double start_time)
     const std::uint64_t start_conflicts = statistics.conflicts;
     std::uint64_t restart_round = 0;
     std::uint64_t conflicts_this_round = 0;
-    std::uint64_t restart_limit = 100 * luby(0);
+    std::uint64_t restart_limit = restartLimit(0);
 
     for (;;) {
         const ClauseRef conflict = propagate();
@@ -621,6 +733,7 @@ Solver::search(const Budget &budget, double start_time)
             }
             std::uint32_t bt_level = 0, lbd = 0;
             analyze(conflict, learntClause, bt_level, lbd);
+            publishLearnt(learntClause, lbd);
             cancelUntil(bt_level);
             if (learntClause.size() == 1) {
                 uncheckedEnqueue(learntClause[0], crefUndef);
@@ -647,8 +760,12 @@ Solver::search(const Budget &budget, double start_time)
             ++statistics.restarts;
             ++restart_round;
             conflicts_this_round = 0;
-            restart_limit = 100 * luby(restart_round);
+            restart_limit = restartLimit(restart_round);
             cancelUntil(0);
+            // Restart boundaries are the one place foreign clauses
+            // can be adopted without disturbing an in-flight trail.
+            if (!importSharedClauses())
+                return SolveStatus::Unsat;
             continue;
         }
         if (budgetExpired(budget, start_time, start_conflicts)) {
@@ -700,6 +817,10 @@ Solver::solve(std::span<const Lit> assumptions, const Budget &budget)
         ok = false;
         return SolveStatus::Unsat;
     }
+    if (!importSharedClauses()) {
+        assumptionList.clear();
+        return SolveStatus::Unsat;
+    }
     const double start_time = now();
     const SolveStatus status = search(budget, start_time);
     cancelUntil(0);
@@ -713,13 +834,6 @@ Solver::modelValue(Var var) const
     if (static_cast<std::size_t>(var) >= model.size())
         return LBool::Undef;
     return model[var];
-}
-
-LBool
-Solver::modelValue(Lit lit) const
-{
-    const LBool v = modelValue(litVar(lit));
-    return litSign(lit) ? -v : v;
 }
 
 void

@@ -9,14 +9,17 @@
  *  - two-watched-literal propagation with blocker literals,
  *  - first-UIP conflict analysis with clause minimization,
  *  - EVSIDS decision heuristic with phase saving,
- *  - Luby-sequence restarts,
+ *  - Luby-sequence (or geometric) restarts,
  *  - LBD ("glue") guided learnt-clause database reduction,
  *  - incremental solving: clauses may be added between solve()
  *    calls and assumptions are supported, which Algorithm 1's
  *    descent loop uses to tighten the Pauli-weight bound by
  *    asserting a single totalizer output literal per step,
  *  - conflict/time budgets so descent steps can time out the same
- *    way the paper's setup bounds each SAT call.
+ *    way the paper's setup bounds each SAT call,
+ *  - configurable diversification (decision seed, phase policy,
+ *    restart schedule) and learnt-clause exchange, the two hooks
+ *    the portfolio front-end (sat/portfolio.h) races instances on.
  *
  * Key invariants:
  *  - Variables are dense 0-based indices; every literal passed to
@@ -24,12 +27,15 @@
  *  - After solve() returns Sat, modelValue() is defined for every
  *    variable and satisfies every added clause; after Unsat the
  *    formula (under the given assumptions) has no model. Unknown is
- *    returned only when a Budget expired.
+ *    returned only when a Budget expired or a stop was requested.
  *  - Clauses and variables may be added between solve() calls;
  *    learnt clauses, saved phases and activities persist, which is
  *    what makes the descent loop's incremental tightening cheap.
  *  - The clause arena may be garbage-collected at any solve()
  *    boundary: ClauseRef values are internal and never escape.
+ *  - A default-constructed config makes the solver a deterministic
+ *    function of its clause/solve call sequence; any two Solvers
+ *    fed the same calls return the same answers and models.
  */
 
 #ifndef FERMIHEDRAL_SAT_SOLVER_H
@@ -40,31 +46,45 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.h"
+#include "sat/solver_base.h"
 #include "sat/types.h"
 
 namespace fermihedral::sat {
 
-/** Outcome of a solve() call. */
-enum class SolveStatus { Sat, Unsat, Unknown };
+class ClauseExchange;
 
-/** Resource limits for one solve() call. */
-struct Budget
+/**
+ * Search-heuristic configuration. The defaults reproduce the
+ * classic MiniSat-style behaviour; the portfolio diversifies
+ * instances by varying these knobs.
+ */
+struct SolverConfig
 {
-    /** Maximum number of conflicts (no limit when negative). */
-    std::int64_t maxConflicts = -1;
-    /** Maximum wall-clock seconds (no limit when <= 0). */
-    double maxSeconds = -1.0;
-};
+    /** Seed for the solver-local RNG (random branching/phases). */
+    std::uint64_t seed = 0;
 
-/** Aggregate counters exposed for benchmarks and tests. */
-struct SolverStats
-{
-    std::uint64_t conflicts = 0;
-    std::uint64_t decisions = 0;
-    std::uint64_t propagations = 0;
-    std::uint64_t restarts = 0;
-    std::uint64_t learntLiterals = 0;
-    std::uint64_t removedClauses = 0;
+    /** Probability of a uniformly random branching variable. */
+    double randomBranchFreq = 0.0;
+
+    /** Initial saved phase assigned to fresh variables. */
+    bool initialPhase = false;
+
+    /** Draw each fresh variable's initial phase from the RNG. */
+    bool randomizePhases = false;
+
+    /** Restart schedule family. */
+    enum class Restarts { Luby, Geometric };
+    Restarts restartSchedule = Restarts::Luby;
+
+    /** Conflicts per restart unit (Luby) / first interval (geom.). */
+    std::uint32_t restartBase = 100;
+
+    /** Interval multiplier for the geometric schedule. */
+    double restartGrowth = 1.5;
+
+    /** EVSIDS activity decay factor. */
+    double varDecay = 0.95;
 };
 
 /**
@@ -72,63 +92,68 @@ struct SolverStats
  * addClause(), then call solve(). More clauses may be added after a
  * solve; learnt clauses and heuristic state are kept.
  */
-class Solver
+class Solver final : public SolverBase
 {
   public:
-    Solver();
+    explicit Solver(const SolverConfig &config = {});
     Solver(const Solver &) = delete;
     Solver &operator=(const Solver &) = delete;
 
     /** Create a fresh variable and return its index. */
-    Var newVar();
+    Var newVar() override;
 
     /** Number of created variables. */
-    std::size_t numVars() const { return assigns.size(); }
+    std::size_t numVars() const override { return assigns.size(); }
 
     /** Number of problem (non-learnt) clauses added and retained. */
-    std::size_t numClauses() const { return numProblemClauses; }
+    std::size_t numClauses() const override
+    {
+        return numProblemClauses;
+    }
+
+    using SolverBase::addClause;
 
     /**
      * Add a clause (disjunction of literals). Returns false when
      * the clause makes the formula trivially unsatisfiable.
      * Must not be called while a solve() is in progress.
      */
-    bool addClause(std::span<const Lit> literals);
-    bool addClause(std::initializer_list<Lit> literals);
-
-    /** Convenience for unit / binary / ternary clauses. */
-    bool addUnit(Lit a) { return addClause({a}); }
-    bool addBinary(Lit a, Lit b) { return addClause({a, b}); }
-    bool addTernary(Lit a, Lit b, Lit c)
-    {
-        return addClause({a, b, c});
-    }
+    bool addClause(std::span<const Lit> literals) override;
 
     /**
      * Solve under the given assumptions and budget.
      * Unknown means the budget expired first.
      */
     SolveStatus solve(std::span<const Lit> assumptions = {},
-                      const Budget &budget = {});
+                      const Budget &budget = {}) override;
+
+    using SolverBase::modelValue;
 
     /** Value of a variable in the last satisfying model. */
-    LBool modelValue(Var var) const;
-
-    /** Value of a literal in the last satisfying model. */
-    LBool modelValue(Lit lit) const;
+    LBool modelValue(Var var) const override;
 
     /**
      * Set the initial saved phase of a variable (warm start). The
      * solver will try this polarity first when branching.
      */
-    void setPolarity(Var var, bool value);
+    void setPolarity(Var var, bool value) override;
 
     /**
      * Raise a variable's branching activity so it is decided before
      * less active ones. Useful to prioritise semantic variables
      * over Tseitin auxiliaries, which then follow by propagation.
      */
-    void boostActivity(Var var, double amount);
+    void boostActivity(Var var, double amount) override;
+
+    /**
+     * Join a learnt-clause exchange: short low-LBD learnt clauses
+     * are published under `instance_id` and clauses published by
+     * other instances are imported at restart boundaries. The
+     * exchange must outlive every connected solver, and all
+     * connected solvers must share one variable numbering.
+     */
+    void connectExchange(ClauseExchange *exchange,
+                         std::size_t instance_id);
 
     /**
      * Record every clause passed to addClause (verbatim, before
@@ -145,9 +170,9 @@ class Solver
     }
 
     /** True once the clause set is known unsatisfiable at level 0. */
-    bool inconsistent() const { return !ok; }
+    bool inconsistent() const override { return !ok; }
 
-    const SolverStats &stats() const { return statistics; }
+    const SolverStats &stats() const override { return statistics; }
 
   private:
     // --- Clause storage -------------------------------------------------
@@ -234,7 +259,6 @@ class Solver
     // --- Decision heuristic ----------------------------------------------
     std::vector<double> activity;
     double varInc = 1.0;
-    static constexpr double varDecay = 0.95;
     std::vector<char> polarity;
     std::vector<char> seen;
 
@@ -256,7 +280,7 @@ class Solver
     }
 
     void varBumpActivity(Var var);
-    void varDecayActivity() { varInc /= varDecay; }
+    void varDecayActivity() { varInc /= config.varDecay; }
     Lit pickBranchLit();
 
     // --- Conflict analysis -----------------------------------------------
@@ -283,7 +307,20 @@ class Solver
     void removeClause(ClauseRef ref);
     void garbageCollectIfNeeded();
 
+    // --- Clause exchange ---------------------------------------------------
+    ClauseExchange *exchange = nullptr;
+    std::size_t exchangeId = 0;
+
+    void publishLearnt(std::span<const Lit> literals,
+                       std::uint32_t lbd);
+    /** Adopt foreign clauses at level 0. False when UNSAT results. */
+    bool importSharedClauses();
+    bool adoptClause(std::span<const Lit> literals,
+                     std::uint32_t lbd);
+
     // --- Search ------------------------------------------------------------
+    SolverConfig config;
+    Rng rng;
     bool ok = true;
     bool recordClauses = false;
     std::vector<std::vector<Lit>> recorded;
@@ -292,6 +329,7 @@ class Solver
     SolverStats statistics;
 
     SolveStatus search(const Budget &budget, double start_time);
+    std::uint64_t restartLimit(std::uint64_t round) const;
     static std::uint64_t luby(std::uint64_t i);
     double now() const;
 

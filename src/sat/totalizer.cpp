@@ -4,7 +4,7 @@
 
 namespace fermihedral::sat {
 
-Totalizer::Totalizer(Solver &solver, std::span<const Lit> inputs,
+Totalizer::Totalizer(SolverBase &solver, std::span<const Lit> inputs,
                      std::size_t cap)
     : sat(solver), cap(cap), numInputs(inputs.size())
 {

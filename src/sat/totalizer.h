@@ -30,7 +30,7 @@
 #include <span>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/solver_base.h"
 #include "sat/types.h"
 
 namespace fermihedral::sat {
@@ -47,7 +47,7 @@ class Totalizer
      * @param cap    Highest count that must be distinguished; sums
      *               greater than cap saturate at cap + 1.
      */
-    Totalizer(Solver &solver, std::span<const Lit> inputs,
+    Totalizer(SolverBase &solver, std::span<const Lit> inputs,
               std::size_t cap);
 
     /**
@@ -66,8 +66,16 @@ class Totalizer
     /** Number of input literals. */
     std::size_t size() const { return numInputs; }
 
+    /**
+     * The counter's output literals, lowest count first. These are
+     * the solver-visible interface of the counter: callers that
+     * bound incrementally after preprocessing must freeze() their
+     * variables so elimination keeps them addressable.
+     */
+    std::span<const Lit> outputLits() const { return outputs; }
+
   private:
-    Solver &sat;
+    SolverBase &sat;
     std::size_t cap;
     std::size_t numInputs;
     /** outputs[k] is implied by "at least k+1 inputs true". */

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "core/descent_solver.h"
 #include "encodings/linear.h"
 #include "fermion/models.h"
@@ -105,6 +107,75 @@ TEST(DescentSolver, TinyBudgetStillReturnsBaseline)
     // than BK (possibly BK itself).
     EXPECT_LE(result.cost, result.baselineCost);
     EXPECT_TRUE(enc::validateEncoding(result.encoding).valid());
+}
+
+TEST(DescentSolver, PortfolioDeterministicAcrossThreadCounts)
+{
+    // The bit-identity contract, mirroring test_parallel's
+    // measureEnergy guarantee: with deterministic=true and budgets
+    // generous enough that no step times out, the descent result —
+    // cost, optimality proof, and the exact encoding — is the same
+    // for every thread count at a fixed portfolio size.
+    DescentOptions base = fastOptions();
+    base.portfolioInstances = 3;
+    base.deterministic = true;
+    // Bit-identity requires budgets that never bind; the N=3 steps
+    // take milliseconds, but sanitizer CI runs everything 10x
+    // slower and in parallel, so leave a wide margin.
+    base.stepTimeoutSeconds = 120.0;
+    base.totalTimeoutSeconds = 600.0;
+
+    std::optional<DescentResult> reference;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        DescentOptions options = base;
+        options.threads = threads;
+        DescentSolver solver(3, options);
+        const auto result = solver.solve();
+        if (!reference) {
+            reference = result;
+            continue;
+        }
+        EXPECT_EQ(result.cost, reference->cost)
+            << threads << " threads";
+        EXPECT_EQ(result.provedOptimal, reference->provedOptimal)
+            << threads << " threads";
+        EXPECT_TRUE(result.encoding.majoranas ==
+                    reference->encoding.majoranas)
+            << threads << " threads";
+    }
+}
+
+TEST(DescentSolver, PreprocessingPreservesResultAndShrinksInstance)
+{
+    DescentOptions with = fastOptions();
+    DescentOptions without = fastOptions();
+    without.preprocess = false;
+
+    const auto simplified = DescentSolver(2, with).solve();
+    const auto plain = DescentSolver(2, without).solve();
+    EXPECT_EQ(simplified.cost, plain.cost);
+    EXPECT_EQ(simplified.provedOptimal, plain.provedOptimal);
+    const auto &stats = simplified.satStats.simplifier;
+    EXPECT_GT(stats.eliminatedVariables, 0u);
+    EXPECT_LT(stats.simplifiedClauses, stats.originalClauses);
+    EXPECT_TRUE(
+        enc::validateEncoding(simplified.encoding).valid());
+}
+
+TEST(DescentSolver, RacingPortfolioFindsSameOptimum)
+{
+    DescentOptions options = fastOptions();
+    options.portfolioInstances = 3;
+    options.threads = 3;
+    options.deterministic = false;
+
+    const auto racing = DescentSolver(2, options).solve();
+    const auto plain = DescentSolver(2, fastOptions()).solve();
+    // Arbitration may pick different optimal encodings, but the
+    // optimum and its proof are unique.
+    EXPECT_EQ(racing.cost, plain.cost);
+    EXPECT_TRUE(racing.provedOptimal);
+    EXPECT_TRUE(enc::validateEncoding(racing.encoding).valid());
 }
 
 TEST(DescentSolver, EnumerateOptimalYieldsDistinctValidEncodings)

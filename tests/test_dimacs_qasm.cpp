@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuit/pauli_compiler.h"
@@ -53,6 +54,63 @@ TEST(Dimacs, ParserRejectsGarbage)
     EXPECT_THROW(sat::parseDimacs("p cnf 2 1\n1 2\n"), FatalError);
     EXPECT_THROW(sat::parseDimacs("p dnf 2 1\n1 2 0\n"),
                  FatalError);
+}
+
+TEST(Dimacs, ParserRejectsDuplicateAndContradictoryLiterals)
+{
+    // A repeated literal within a clause is a generator bug.
+    EXPECT_THROW(sat::parseDimacs("p cnf 2 1\n1 2 1 0\n"),
+                 FatalError);
+    // So is a tautological x OR NOT x clause.
+    EXPECT_THROW(sat::parseDimacs("p cnf 2 1\n1 -1 0\n"),
+                 FatalError);
+    EXPECT_THROW(sat::parseDimacs("p cnf 3 2\n1 2 0\n-3 2 3 0\n"),
+                 FatalError);
+    // The same literals across different clauses stay legal.
+    const Cnf cnf =
+        sat::parseDimacs("p cnf 2 2\n1 2 0\n-1 2 0\n");
+    EXPECT_EQ(cnf.clauses.size(), 2u);
+}
+
+TEST(Dimacs, RandomRoundTripPreservesClauses)
+{
+    // Property: write -> parse is the identity on clause lists
+    // (duplicate-free clauses, as the writer's callers produce).
+    Rng rng(321);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t num_vars = 1 + rng.nextBelow(30);
+        const std::size_t num_clauses = rng.nextBelow(40);
+        Cnf cnf;
+        cnf.numVars = num_vars;
+        for (std::size_t c = 0; c < num_clauses; ++c) {
+            // Pick distinct variables, then random signs.
+            std::vector<sat::Var> vars;
+            for (sat::Var v = 0;
+                 static_cast<std::size_t>(v) < num_vars; ++v)
+                vars.push_back(v);
+            const std::size_t size =
+                1 + rng.nextBelow(std::min<std::size_t>(
+                        num_vars, 5));
+            std::vector<Lit> clause;
+            for (std::size_t k = 0; k < size; ++k) {
+                const std::size_t pick =
+                    rng.nextBelow(vars.size());
+                clause.push_back(
+                    mkLit(vars[pick], rng.nextBool()));
+                vars[pick] = vars.back();
+                vars.pop_back();
+            }
+            cnf.addClause(clause);
+        }
+        const Cnf parsed = sat::parseDimacs(toDimacs(cnf));
+        ASSERT_EQ(parsed.clauses.size(), cnf.clauses.size())
+            << "round " << round;
+        EXPECT_EQ(parsed.numVars, cnf.numVars)
+            << "round " << round;
+        for (std::size_t i = 0; i < cnf.clauses.size(); ++i)
+            EXPECT_EQ(parsed.clauses[i], cnf.clauses[i])
+                << "round " << round << " clause " << i;
+    }
 }
 
 TEST(Dimacs, LoadIntoSolverSolves)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/encoding_model.h"
+#include "sat/solver.h"
 #include "encodings/linear.h"
 
 namespace fermihedral::core {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sat/formula.h"
+#include "sat/solver.h"
 #include "sat/totalizer.h"
 
 namespace fermihedral::sat {

@@ -13,6 +13,7 @@
 #include "circuit/passes.h"
 #include "common/rng.h"
 #include "core/encoding_model.h"
+#include "sat/solver.h"
 #include "encodings/encoding.h"
 #include "sim/statevector.h"
 
