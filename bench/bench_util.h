@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "api/compiler.h"
 #include "common/flags.h"
 #include "core/annealing.h"
 #include "core/descent_solver.h"
@@ -26,9 +27,9 @@ namespace fermihedral::bench {
  * The shared SAT-engine flags: every descent-running binary
  * registers the same portfolio/preprocessing knobs with one
  * EngineFlags::add(flags) call. Registration also arms an active
- * overlay that descentOptions() (and therefore
- * solveForHamiltonian()) applies, so the knobs reach every descent
- * in the binary without threading them through each call site.
+ * overlay that descentOptions() and compilationRequest() apply, so
+ * the knobs reach every descent in the binary without threading
+ * them through each call site.
  */
 struct EngineFlags
 {
@@ -67,6 +68,17 @@ struct EngineFlags
             *instances < 0 ? 0 : *instances);
         options.deterministic = !*racing;
         options.preprocess = *preprocess;
+    }
+
+    void
+    apply(api::CompilationRequest &request) const
+    {
+        request.threads = static_cast<std::size_t>(
+            *threads < 0 ? 0 : *threads);
+        request.portfolioInstances = static_cast<std::size_t>(
+            *instances < 0 ? 0 : *instances);
+        request.deterministic = !*racing;
+        request.preprocess = *preprocess;
     }
 
     /** The overlay armed by add(), if any (one per binary). */
@@ -108,49 +120,26 @@ descentOptions(Config config, double step_timeout,
 }
 
 /**
- * Full Hamiltonian-dependent pipeline: Hamiltonian-independent
- * descent, Algorithm 2 annealing, then the Hamiltonian-dependent
- * descent seeded with the annealed encoding. Returns the best
- * encoding found, which is never worse than BK or SAT+Anl.
+ * A facade request for one of the paper's configurations. The
+ * pipeline the old per-binary glue duplicated (independent descent
+ * -> Algorithm 2 annealing -> seeded dependent descent) now lives
+ * behind the "sat"/"sat-noalg" strategies; attach a Hamiltonian to
+ * run it, leave `hamiltonian` empty for the independent search.
  */
-struct HamiltonianSolve
+inline api::CompilationRequest
+compilationRequest(Config config, double step_timeout,
+                   double total_timeout, bool vacuum = true)
 {
-    enc::FermionEncoding encoding;
-    std::size_t bkCost = 0;
-    std::size_t annealedCost = 0;
-    std::size_t fullCost = 0;
-    bool provedOptimal = false;
-};
-
-inline HamiltonianSolve
-solveForHamiltonian(const fermion::FermionHamiltonian &hamiltonian,
-                    Config config, double step_timeout,
-                    double total_timeout)
-{
-    HamiltonianSolve out;
-    out.bkCost = enc::hamiltonianPauliWeight(
-        hamiltonian, enc::bravyiKitaev(hamiltonian.modes()));
-
-    core::DescentSolver indep_solver(
-        hamiltonian.modes(),
-        descentOptions(config, step_timeout / 2.0,
-                       total_timeout / 2.0));
-    const auto indep = indep_solver.solve();
-    const auto annealed =
-        core::annealPairing(indep.encoding, hamiltonian);
-    out.annealedCost = annealed.finalCost;
-
-    auto full_options =
-        descentOptions(config, step_timeout, total_timeout);
-    full_options.seedEncoding = annealed.encoding;
-    core::DescentSolver full_solver(hamiltonian, full_options);
-    const auto full = full_solver.solve();
-    out.fullCost = full.cost;
-    out.provedOptimal = full.provedOptimal;
-    out.encoding = full.cost <= annealed.finalCost
-                       ? full.encoding
-                       : annealed.encoding;
-    return out;
+    api::CompilationRequest request;
+    request.strategy =
+        config == Config::FullSat ? "sat" : "sat-noalg";
+    request.algebraicIndependence = config == Config::FullSat;
+    request.vacuumPreservation = vacuum;
+    request.stepTimeoutSeconds = step_timeout;
+    request.totalTimeoutSeconds = total_timeout;
+    if (const EngineFlags *engine = EngineFlags::active())
+        engine->apply(request);
+    return request;
 }
 
 /** Least-squares fit y = a * log2(x) + b over positive samples. */

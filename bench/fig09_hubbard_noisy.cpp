@@ -76,18 +76,22 @@ main(int argc, char **argv)
     Rng rng(909);
     std::size_t total_shots = 0;
     double total_seconds = 0.0;
+    api::Compiler compiler;
     for (const auto &model : models) {
         const auto &h = model.hamiltonian;
-        const auto sat = bench::solveForHamiltonian(
-            h, model.config, *timeout / 2.0, *timeout);
+        api::CompilationRequest request = bench::compilationRequest(
+            model.config, *timeout / 2.0, *timeout);
+        request.hamiltonian = h;
+        const std::string sat_strategy = request.strategy;
 
-        for (const auto &[name, encoding] :
-             std::vector<std::pair<std::string,
-                                   enc::FermionEncoding>>{
-                 {"JW", enc::jordanWigner(h.modes())},
-                 {"BK", enc::bravyiKitaev(h.modes())},
-                 {"Full SAT", sat.encoding}}) {
-            const auto qubit_h = enc::mapToQubits(h, encoding);
+        for (const auto &[name, strategy] :
+             std::vector<std::pair<std::string, std::string>>{
+                 {"JW", "jordan-wigner"},
+                 {"BK", "bravyi-kitaev"},
+                 {"Full SAT", sat_strategy}}) {
+            request.strategy = strategy;
+            const auto compiled = compiler.compile(request);
+            const auto &qubit_h = compiled.qubitHamiltonian;
             const auto eigen = sim::eigendecompose(qubit_h);
             const auto initial = eigen.state(0);
             circuit::CompileOptions copts;

@@ -42,8 +42,9 @@ main(int argc, char **argv)
     bench::banner("H2 on simulated IonQ Aria-1", "Figure 10");
     const auto h2 = fermion::h2Sto3gIntegrals().toHamiltonian();
 
-    const auto sat = bench::solveForHamiltonian(
-        h2, bench::Config::FullSat, *timeout / 2.0, *timeout);
+    api::CompilationRequest request = bench::compilationRequest(
+        bench::Config::FullSat, *timeout / 2.0, *timeout);
+    request.hamiltonian = h2;
 
     const auto noise = sim::NoiseModel::ionqAria1();
     Table table({"Encoding", "E measured", "sigma", "E0 exact",
@@ -51,12 +52,15 @@ main(int argc, char **argv)
     Rng rng(1010);
     std::size_t total_shots = 0;
     double total_seconds = 0.0;
-    for (const auto &[name, encoding] :
-         std::vector<std::pair<std::string, enc::FermionEncoding>>{
-             {"JW", enc::jordanWigner(4)},
-             {"BK", enc::bravyiKitaev(4)},
-             {"Full SAT", sat.encoding}}) {
-        const auto qubit_h = enc::mapToQubits(h2, encoding);
+    api::Compiler compiler;
+    for (const auto &[name, strategy] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"JW", "jordan-wigner"},
+             {"BK", "bravyi-kitaev"},
+             {"Full SAT", "sat"}}) {
+        request.strategy = strategy;
+        const auto compiled = compiler.compile(request);
+        const auto &qubit_h = compiled.qubitHamiltonian;
         const auto eigen = sim::eigendecompose(qubit_h);
         const auto initial = eigen.state(0);
         const auto circuit = circuit::compileTrotter(qubit_h, 1.0);

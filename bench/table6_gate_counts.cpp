@@ -31,11 +31,14 @@ struct Row
 };
 
 circuit::CircuitCosts
-compileWith(const fermion::FermionHamiltonian &h,
-            const enc::FermionEncoding &encoding, double time)
+compileWith(api::Compiler &compiler,
+            api::CompilationRequest request,
+            const std::string &strategy, double time)
 {
-    const auto qubit_h = enc::mapToQubits(h, encoding);
-    return circuit::compileTrotter(qubit_h, time).costs();
+    request.strategy = strategy;
+    const auto result = compiler.compile(request);
+    return circuit::compileTrotter(result.qubitHamiltonian, time)
+        .costs();
 }
 
 } // namespace
@@ -73,16 +76,19 @@ main(int argc, char **argv)
 
     Table table({"Case", "Gates", "JW", "BK", "Full SAT",
                  "Red. vs BK"});
+    api::Compiler compiler;
     for (const auto &test_case : cases) {
-        const auto &h = test_case.hamiltonian;
-        const auto sat = bench::solveForHamiltonian(
-            h, test_case.config, *timeout / 2.0, *timeout);
+        api::CompilationRequest request = bench::compilationRequest(
+            test_case.config, *timeout / 2.0, *timeout);
+        request.hamiltonian = test_case.hamiltonian;
+        const std::string sat_strategy = request.strategy;
 
         const auto jw_costs =
-            compileWith(h, enc::jordanWigner(h.modes()), *time);
+            compileWith(compiler, request, "jordan-wigner", *time);
         const auto bk_costs =
-            compileWith(h, enc::bravyiKitaev(h.modes()), *time);
-        const auto sat_costs = compileWith(h, sat.encoding, *time);
+            compileWith(compiler, request, "bravyi-kitaev", *time);
+        const auto sat_costs =
+            compileWith(compiler, request, sat_strategy, *time);
 
         struct Metric
         {

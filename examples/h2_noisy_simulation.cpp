@@ -1,9 +1,10 @@
 /**
  * @file
  * End-to-end noisy simulation of the H2 molecule (the paper's
- * quantum-chemistry workload): find a Hamiltonian-dependent optimal
- * encoding, compile the Trotter circuit, and measure the ground
- * state energy drift under increasing two-qubit gate error.
+ * quantum-chemistry workload): compile the problem through the
+ * facade per strategy, Trotterize the resulting qubit Hamiltonian,
+ * and measure the ground state energy drift under increasing
+ * two-qubit gate error.
  *
  * Usage: h2_noisy_simulation [--shots=300] [--timeout=30]
  *                            [--threads=0]
@@ -11,13 +12,12 @@
 
 #include <cstdio>
 
+#include "api/compiler.h"
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/descent_solver.h"
-#include "encodings/linear.h"
 #include "fermion/models.h"
 #include "sim/exact.h"
 #include "sim/noise.h"
@@ -44,25 +44,31 @@ main(int argc, char **argv)
     std::printf("H2/STO-3G: %zu spin orbitals, %zu terms\n",
                 h2.modes(), h2.termCount());
 
-    core::DescentOptions options;
-    options.stepTimeoutSeconds = *timeout / 3.0;
-    options.totalTimeoutSeconds = *timeout;
-    core::DescentSolver solver(h2, options);
-    const auto sat = solver.solve();
-    std::printf("SAT encoding: Hamiltonian Pauli weight %zu "
-                "(BK baseline %zu)\n",
-                sat.cost, sat.baselineCost);
+    api::CompilationRequest request;
+    request.hamiltonian = h2;
+    request.stepTimeoutSeconds = *timeout / 3.0;
+    request.totalTimeoutSeconds = *timeout;
 
     struct Entry
     {
         const char *name;
-        enc::FermionEncoding encoding;
+        api::CompilationResult compiled;
     };
-    const Entry entries[] = {
-        {"JW", enc::jordanWigner(4)},
-        {"BK", enc::bravyiKitaev(4)},
-        {"SAT", sat.encoding},
-    };
+    api::Compiler compiler;
+    std::vector<Entry> entries;
+    for (const auto &[name, strategy] :
+         std::vector<std::pair<const char *, const char *>>{
+             {"JW", "jordan-wigner"},
+             {"BK", "bravyi-kitaev"},
+             {"SAT", "sat"}}) {
+        request.strategy = strategy;
+        entries.push_back({name, compiler.compile(request)});
+    }
+    const auto &sat = entries.back().compiled;
+    std::printf("SAT encoding: Hamiltonian Pauli weight %zu "
+                "(BK baseline %zu), %zu measurement families\n",
+                sat.cost, sat.baselineCost,
+                sat.measurementGroups.size());
 
     Table table({"2q error", "Encoding", "E (measured)", "sigma",
                  "E0 (exact)", "shots/s"});
@@ -71,8 +77,7 @@ main(int argc, char **argv)
     double total_seconds = 0.0;
     for (const double error : {1e-4, 1e-3, 1e-2}) {
         for (const auto &entry : entries) {
-            const auto qubit_h = enc::mapToQubits(h2,
-                                                  entry.encoding);
+            const auto &qubit_h = entry.compiled.qubitHamiltonian;
             const auto eigen = sim::eigendecompose(qubit_h);
             const auto initial = eigen.state(0);
             const auto circuit =

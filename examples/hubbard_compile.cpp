@@ -1,22 +1,24 @@
 /**
  * @file
  * Compile a Fermi-Hubbard time-evolution circuit under different
- * Fermion-to-qubit encodings and compare the circuit costs — the
- * workload the paper's introduction motivates for condensed-matter
- * simulation.
+ * encoding strategies and compare the circuit costs — the workload
+ * the paper's introduction motivates for condensed-matter
+ * simulation. All encodings come from the Compiler facade; with
+ * --cache-dir repeated runs reuse the solved encodings.
  *
  * Usage: hubbard_compile [--sites=3] [--t=1] [--u=4]
  *                        [--timeout=45] [--time=1.0]
+ *                        [--cache-dir=PATH]
+ *                        [--cache-stats-json=FILE]
  */
 
 #include <cstdio>
+#include <fstream>
 
+#include "api/service.h"
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "core/annealing.h"
-#include "core/descent_solver.h"
-#include "encodings/linear.h"
 #include "fermion/models.h"
 
 using namespace fermihedral;
@@ -25,17 +27,14 @@ namespace {
 
 void
 addRow(Table &table, const char *name,
-       const fermion::FermionHamiltonian &h,
-       const enc::FermionEncoding &encoding, double time)
+       const api::CompilationResult &result, double time)
 {
-    const auto qubit_h = enc::mapToQubits(h, encoding);
     const auto costs =
-        circuit::compileTrotter(qubit_h, time).costs();
+        circuit::compileTrotter(result.qubitHamiltonian, time)
+            .costs();
     table.addRow(
-        {name,
-         Table::num(std::int64_t(
-             enc::hamiltonianPauliWeight(h, encoding))),
-         Table::num(std::int64_t(qubit_h.size())),
+        {name, Table::num(std::int64_t(result.cost)),
+         Table::num(std::int64_t(result.qubitHamiltonian.size())),
          Table::num(std::int64_t(costs.singleQubitGates)),
          Table::num(std::int64_t(costs.cnotGates)),
          Table::num(std::int64_t(costs.totalGates)),
@@ -55,6 +54,11 @@ main(int argc, char **argv)
         flags.addDouble("timeout", 45.0, "SAT budget (s)");
     const auto *time =
         flags.addDouble("time", 1.0, "evolution time");
+    const auto *cache_dir = flags.addString(
+        "cache-dir", "", "on-disk encoding cache directory");
+    const auto *stats_json = flags.addString(
+        "cache-stats-json", "",
+        "write cache statistics to this JSON file");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -65,26 +69,50 @@ main(int argc, char **argv)
                 static_cast<long long>(*sites), h.modes(),
                 h.termCount());
 
-    // SAT + annealing pipeline (Sec. 4): Hamiltonian-independent
-    // optimum, then anneal the pairing for this Hamiltonian.
-    core::DescentOptions options;
-    options.algebraicIndependence = h.modes() <= 4;
-    options.stepTimeoutSeconds = *timeout / 3.0;
-    options.totalTimeoutSeconds = *timeout;
-    core::DescentSolver solver(h.modes(), options);
-    const auto sat = solver.solve();
-    const auto annealed = core::annealPairing(sat.encoding, h);
+    api::ServiceOptions service_options;
+    service_options.diskCachePath = *cache_dir;
+    api::CompilerService service(service_options);
+
+    api::CompilationRequest request;
+    request.hamiltonian = h;
+    request.algebraicIndependence = h.modes() <= 4;
+    request.stepTimeoutSeconds = *timeout / 3.0;
+    request.totalTimeoutSeconds = *timeout;
 
     Table table({"Encoding", "Ham. weight", "Pauli terms", "Single",
                  "CNOT", "Total", "Depth"});
-    addRow(table, "Jordan-Wigner", h,
-           enc::jordanWigner(h.modes()), *time);
-    addRow(table, "Bravyi-Kitaev", h,
-           enc::bravyiKitaev(h.modes()), *time);
-    addRow(table, "SAT", h, sat.encoding, *time);
-    addRow(table, "SAT+Anl.", h, annealed.encoding, *time);
+    struct Entry
+    {
+        const char *label;
+        const char *strategy;
+    };
+    const Entry entries[] = {
+        {"Jordan-Wigner", "jordan-wigner"},
+        {"Bravyi-Kitaev", "bravyi-kitaev"},
+        {"SAT+Anl.", "sat+annealing"},
+        {"SAT", "sat"},
+    };
+    api::CompilationResult annealed;
+    for (const auto &entry : entries) {
+        request.strategy = entry.strategy;
+        auto result = service.compile(request);
+        addRow(table, entry.label, result, *time);
+        if (request.strategy == std::string("sat+annealing"))
+            annealed = std::move(result);
+    }
     std::printf("\n%s", table.render().c_str());
-    std::printf("annealing: %zu -> %zu Hamiltonian Pauli weight\n",
-                annealed.initialCost, annealed.finalCost);
+    std::printf("sat+annealing: Hamiltonian Pauli weight %zu "
+                "(BK baseline %zu)\n",
+                annealed.annealedCost, annealed.baselineCost);
+
+    const auto stats = service.cacheStats();
+    std::printf("cache: %zu hits (%zu from disk), %zu misses, "
+                "%zu computes\n",
+                stats.hits, stats.diskHits, stats.misses,
+                stats.computes);
+    if (!stats_json->empty()) {
+        std::ofstream out(*stats_json);
+        out << service.cacheStatsJson() << '\n';
+    }
     return 0;
 }

@@ -1,81 +1,110 @@
 /**
  * @file
- * Quickstart: find the optimal Fermion-to-qubit encoding for a
- * small system and compare it with the textbook baselines.
+ * Quickstart: compile a small system through the unified Compiler
+ * facade under every registered encoding strategy and compare the
+ * results. With --cache-dir the CompilerService persists solved
+ * encodings, so a second run answers from the cache without any
+ * SAT search (the cache line at the bottom reports it).
  *
- * Usage: quickstart [--modes=3] [--timeout=30]
+ * Usage: quickstart [--modes=3] [--timeout=30] [--strategy=sat]
+ *                   [--cache-dir=PATH] [--cache-stats-json=FILE]
  */
 
 #include <cstdio>
+#include <fstream>
 
+#include "api/service.h"
+#include "api/strategy_registry.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "core/descent_solver.h"
-#include "encodings/linear.h"
-#include "encodings/ternary_tree.h"
 
 using namespace fermihedral;
 
 int
 main(int argc, char **argv)
 {
-    FlagSet flags("Find a SAT-optimal Fermion-to-qubit encoding.");
+    FlagSet flags("Compile a small system under every encoding "
+                  "strategy via the Compiler facade.");
     const auto *modes = flags.addInt("modes", 3, "Fermionic modes");
     const auto *timeout =
         flags.addDouble("timeout", 30.0, "total solve budget (s)");
+    const auto *strategy = flags.addString(
+        "strategy", "sat", "strategy for the detailed printout");
+    const auto *cache_dir = flags.addString(
+        "cache-dir", "", "on-disk encoding cache directory "
+                         "(empty = in-memory only)");
+    const auto *stats_json = flags.addString(
+        "cache-stats-json", "",
+        "write cache statistics to this JSON file");
     if (!flags.parse(argc, argv))
         return 0;
 
     const auto n = static_cast<std::size_t>(*modes);
-    std::printf("Searching the optimal encoding for %zu modes...\n",
-                n);
+    std::printf("Compiling %zu modes through the facade...\n", n);
 
-    core::DescentOptions options;
-    options.stepTimeoutSeconds = *timeout / 3.0;
-    options.totalTimeoutSeconds = *timeout;
-    core::DescentSolver solver(n, options);
-    const auto result = solver.solve();
+    api::ServiceOptions service_options;
+    service_options.diskCachePath = *cache_dir;
+    api::CompilerService service(service_options);
 
-    std::printf("\nOptimal Majorana operators (%s):\n",
-                result.provedOptimal ? "proved optimal"
+    api::CompilationRequest request;
+    request.modes = n;
+    request.stepTimeoutSeconds = *timeout / 3.0;
+    request.totalTimeoutSeconds = *timeout;
+
+    // One request per strategy, submitted as one async batch.
+    const std::vector<std::string> strategies = {
+        "jordan-wigner", "bravyi-kitaev", "ternary-tree", *strategy};
+    std::vector<api::CompilationRequest> batch;
+    for (const std::string &name : strategies) {
+        request.strategy = name;
+        batch.push_back(request);
+    }
+    const auto results = service.compileBatch(std::move(batch));
+
+    const auto &chosen = results.back();
+    std::printf("\nMajorana operators from strategy '%s' (%s):\n",
+                chosen.strategy.c_str(),
+                chosen.provedOptimal ? "proved optimal"
+                : chosen.fromCache   ? "cached"
                                      : "best found in budget");
     for (std::size_t j = 0; j < n; ++j) {
         std::printf("  mode %zu:  gamma[%zu] = %s   gamma[%zu] = %s\n",
                     j, 2 * j,
-                    result.encoding.majoranas[2 * j].label().c_str(),
+                    chosen.encoding.majoranas[2 * j].label().c_str(),
                     2 * j + 1,
-                    result.encoding.majoranas[2 * j + 1]
+                    chosen.encoding.majoranas[2 * j + 1]
                         .label()
                         .c_str());
     }
-
-    const auto validation = enc::validateEncoding(result.encoding);
     std::printf("\nconstraints: anticommutativity=%s "
                 "independence=%s xy-pairing=%s\n",
-                validation.anticommutativity ? "ok" : "FAIL",
-                validation.algebraicIndependence ? "ok" : "FAIL",
-                validation.xyPairing ? "ok" : "FAIL");
+                chosen.validation.anticommutativity ? "ok" : "FAIL",
+                chosen.validation.algebraicIndependence ? "ok"
+                                                        : "FAIL",
+                chosen.validation.xyPairing ? "ok" : "FAIL");
 
-    Table table({"Encoding", "Total Pauli weight", "Per operator"});
-    const auto jw = enc::jordanWigner(n);
-    const auto bk = enc::bravyiKitaev(n);
-    const auto tt = enc::ternaryTree(n);
-    table.addRow({"Jordan-Wigner",
-                  Table::num(std::int64_t(jw.totalWeight())),
-                  Table::num(jw.weightPerOperator(), 2)});
-    table.addRow({"Bravyi-Kitaev",
-                  Table::num(std::int64_t(bk.totalWeight())),
-                  Table::num(bk.weightPerOperator(), 2)});
-    table.addRow({"Ternary tree",
-                  Table::num(std::int64_t(tt.totalWeight())),
-                  Table::num(tt.weightPerOperator(), 2)});
-    table.addRow({"Fermihedral (SAT)",
-                  Table::num(std::int64_t(result.cost)),
-                  Table::num(result.encoding.weightPerOperator(),
-                             2)});
+    Table table({"Strategy", "Total Pauli weight", "Per operator",
+                 "Optimal?", "SAT calls"});
+    for (const auto &result : results) {
+        table.addRow(
+            {result.strategy, Table::num(std::int64_t(result.cost)),
+             Table::num(result.encoding.weightPerOperator(), 2),
+             result.provedOptimal ? "yes" : "-",
+             Table::num(std::int64_t(result.satCalls))});
+    }
     std::printf("\n%s", table.render().c_str());
-    std::printf("SAT calls: %zu, construct %.2fs, solve %.2fs\n",
-                result.satCalls, result.constructSeconds,
-                result.solveSeconds);
+
+    const auto stats = service.cacheStats();
+    std::printf("registered strategies:");
+    for (const auto &name : api::registeredStrategyNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\ncache: %zu hits (%zu from disk), %zu misses, "
+                "%zu computes\n",
+                stats.hits, stats.diskHits, stats.misses,
+                stats.computes);
+    if (!stats_json->empty()) {
+        std::ofstream out(*stats_json);
+        out << service.cacheStatsJson() << '\n';
+    }
     return 0;
 }

@@ -1,20 +1,19 @@
 /**
  * @file
  * Hamiltonian-dependent encoding search for the four-body SYK model
- * (the paper's quantum-field-theory workload): compare Full SAT
- * against the scalable SAT + simulated-annealing pipeline.
+ * (the paper's quantum-field-theory workload): compare the full
+ * "sat" pipeline against the scalable "sat+annealing" strategy,
+ * both through the Compiler facade.
  *
  * Usage: syk_encoding_search [--modes=3] [--seed=7] [--timeout=60]
  */
 
 #include <cstdio>
 
+#include "api/compiler.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/annealing.h"
-#include "core/descent_solver.h"
-#include "encodings/linear.h"
 #include "fermion/models.h"
 
 using namespace fermihedral;
@@ -37,22 +36,18 @@ main(int argc, char **argv)
                 "terms\n",
                 n, 2 * n, syk.majoranaTerms().size());
 
-    const auto bk = enc::bravyiKitaev(n);
-    const auto bk_weight = enc::hamiltonianPauliWeight(syk, bk);
+    api::CompilationRequest request;
+    request.hamiltonian = syk;
+    request.stepTimeoutSeconds = *timeout / 3.0;
+    request.totalTimeoutSeconds = *timeout;
 
-    // Full SAT: the Hamiltonian-dependent objective in the model.
-    core::DescentOptions full_options;
-    full_options.stepTimeoutSeconds = *timeout / 3.0;
-    full_options.totalTimeoutSeconds = *timeout;
-    core::DescentSolver full_solver(syk, full_options);
-    const auto full = full_solver.solve();
+    api::Compiler compiler;
+    request.strategy = "sat+annealing";
+    const auto annealed = compiler.compile(request);
+    request.strategy = "sat";
+    const auto full = compiler.compile(request);
 
-    // SAT + annealing: independent objective, then pair assignment.
-    core::DescentOptions indep_options = full_options;
-    core::DescentSolver indep_solver(n, indep_options);
-    const auto indep = indep_solver.solve();
-    const auto annealed = core::annealPairing(indep.encoding, syk);
-
+    const std::size_t bk_weight = full.baselineCost;
     auto reduction = [bk_weight](std::size_t w) {
         return Table::percent(
             1.0 - double(w) / double(bk_weight), 2);
@@ -61,16 +56,17 @@ main(int argc, char **argv)
     table.addRow({"Bravyi-Kitaev",
                   Table::num(std::int64_t(bk_weight)), "-"});
     table.addRow({"SAT+Anl.",
-                  Table::num(std::int64_t(annealed.finalCost)),
-                  reduction(annealed.finalCost)});
+                  Table::num(std::int64_t(annealed.cost)),
+                  reduction(annealed.cost)});
     table.addRow({full.provedOptimal ? "Full SAT (optimal)"
                                      : "Full SAT (budgeted)",
                   Table::num(std::int64_t(full.cost)),
                   reduction(full.cost)});
     std::printf("\n%s", table.render().c_str());
 
-    const auto validation = enc::validateEncoding(full.encoding);
     std::printf("Full SAT encoding valid: %s\n",
-                validation.valid() ? "yes" : validation.detail.c_str());
+                full.validation.valid()
+                    ? "yes"
+                    : full.validation.detail.c_str());
     return 0;
 }

@@ -1,0 +1,72 @@
+#include "api/compiler.h"
+
+#include "api/strategy_registry.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fermihedral::api {
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+      case Objective::Auto: return "auto";
+      case Objective::TotalWeight: return "total-weight";
+      case Objective::HamiltonianWeight: return "hamiltonian-weight";
+    }
+    panic("unhandled Objective value ",
+          static_cast<int>(objective));
+}
+
+Objective
+CompilationRequest::resolvedObjective() const
+{
+    if (objective == Objective::Auto)
+        return hamiltonian ? Objective::HamiltonianWeight
+                           : Objective::TotalWeight;
+    if (objective == Objective::HamiltonianWeight && !hamiltonian)
+        fatal("objective 'hamiltonian-weight' needs a Hamiltonian "
+              "in the CompilationRequest");
+    return objective;
+}
+
+CompilationResult
+Compiler::assemble(const CompilationRequest &request,
+                   const SearchOutcome &outcome)
+{
+    Timer timer;
+    CompilationResult result;
+    result.encoding = outcome.encoding;
+    result.cost = outcome.cost;
+    result.baselineCost = outcome.baselineCost;
+    result.annealedCost = outcome.annealedCost;
+    result.provedOptimal = outcome.provedOptimal;
+    result.satCalls = outcome.satCalls;
+    result.strategy = request.strategy;
+    result.objective = request.resolvedObjective();
+    result.validation = enc::validateEncoding(result.encoding);
+    if (request.hamiltonian) {
+        result.qubitHamiltonian =
+            enc::mapToQubits(*request.hamiltonian, result.encoding);
+        result.measurementGroups =
+            pauli::groupQubitWiseCommuting(result.qubitHamiltonian);
+    }
+    result.mappingSeconds = timer.seconds();
+    return result;
+}
+
+CompilationResult
+Compiler::compile(const CompilationRequest &request) const
+{
+    if (request.resolvedModes() == 0)
+        fatal("CompilationRequest needs modes > 0 or a Hamiltonian");
+    const auto strategy = makeStrategy(request.strategy);
+    Timer timer;
+    const SearchOutcome outcome = strategy->search(request);
+    const double search_seconds = timer.seconds();
+    CompilationResult result = assemble(request, outcome);
+    result.searchSeconds = search_seconds;
+    return result;
+}
+
+} // namespace fermihedral::api

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The unified compilation facade: one public entry point for the
+ * whole Fermihedral pipeline (problem spec -> encoding search ->
+ * qubit Hamiltonian -> measurement grouping).
+ *
+ * A CompilationRequest names a problem (bare mode count or a
+ * FermionHamiltonian), an encoding strategy from the registry
+ * (api/strategy_registry.h), an objective, the Section 3.1
+ * constraint toggles and the solve budgets. Compiler::compile()
+ * resolves the strategy, runs the search, and — when a Hamiltonian
+ * is present — maps it to a qubit PauliSum and groups the terms
+ * into qubit-wise commuting measurement families. Everything the
+ * examples and benches previously wired by hand is behind this one
+ * call; CompilerService (api/service.h) layers caching and async
+ * batching on top.
+ *
+ * Key invariants:
+ *  - compile() is deterministic: equal requests (with
+ *    deterministic = true and budgets that do not bind) produce
+ *    equal CompilationResults, which is what makes the service's
+ *    content-addressed cache sound.
+ *  - result.cost always equals the resolved objective re-evaluated
+ *    on result.encoding, and qubitHamiltonian/measurementGroups
+ *    are pure functions of (request.hamiltonian, encoding).
+ *  - Unknown strategy or objective combinations are fatal
+ *    diagnostics (FatalError), never silent fallbacks.
+ */
+
+#ifndef FERMIHEDRAL_API_COMPILER_H
+#define FERMIHEDRAL_API_COMPILER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encodings/encoding.h"
+#include "fermion/operators.h"
+#include "pauli/commuting_groups.h"
+#include "pauli/pauli_sum.h"
+
+namespace fermihedral::api {
+
+/** What the encoding search minimises. */
+enum class Objective
+{
+    /**
+     * Pick automatically: HamiltonianWeight when the request
+     * carries a Hamiltonian, TotalWeight otherwise.
+     */
+    Auto,
+    /** Hamiltonian-independent total Pauli weight (Sec. 3.6). */
+    TotalWeight,
+    /** Eq. 14 Hamiltonian-dependent Pauli weight (Sec. 3.7). */
+    HamiltonianWeight,
+};
+
+/** Printable name of a resolved objective. */
+const char *objectiveName(Objective objective);
+
+/** One compilation problem: spec, strategy, constraints, budgets. */
+struct CompilationRequest
+{
+    /** Fermionic mode count (ignored when `hamiltonian` is set). */
+    std::size_t modes = 0;
+
+    /** The problem Hamiltonian (enables mapping + measurement). */
+    std::optional<fermion::FermionHamiltonian> hamiltonian;
+
+    /** Registered strategy name (see api/strategy_registry.h). */
+    std::string strategy = "sat";
+
+    /** Search objective; Auto resolves from the problem spec. */
+    Objective objective = Objective::Auto;
+
+    /** Keep the power-set algebraic independence clauses. */
+    bool algebraicIndependence = true;
+
+    /** Keep the vacuum X/Y-pairing clauses. */
+    bool vacuumPreservation = true;
+
+    /** Wall-clock budget for each individual SAT call (seconds). */
+    double stepTimeoutSeconds = 15.0;
+
+    /** Wall-clock budget for the whole search (seconds). */
+    double totalTimeoutSeconds = 45.0;
+
+    /** Threads racing each SAT step (0 = hardware concurrency). */
+    std::size_t threads = 1;
+
+    /** Portfolio instances per SAT step (0 = one per thread). */
+    std::size_t portfolioInstances = 0;
+
+    /** Fixed-winner arbitration (bit-identical across threads). */
+    bool deterministic = true;
+
+    /** Simplify the clause database before the first SAT call. */
+    bool preprocess = true;
+
+    /** Mode count the search runs at (Hamiltonian wins). */
+    std::size_t resolvedModes() const
+    {
+        return hamiltonian ? hamiltonian->modes() : modes;
+    }
+
+    /** The objective after Auto resolution (fatal on mismatch). */
+    Objective resolvedObjective() const;
+};
+
+/**
+ * What an EncodingStrategy returns: the encoding plus the search
+ * provenance the facade folds into the CompilationResult.
+ */
+struct SearchOutcome
+{
+    enc::FermionEncoding encoding;
+
+    /** Objective value of `encoding`. */
+    std::size_t cost = 0;
+
+    /** Objective value of the Bravyi-Kitaev baseline. */
+    std::size_t baselineCost = 0;
+
+    /**
+     * Objective value after the Algorithm 2 annealing stage, when
+     * the strategy ran one (0 otherwise).
+     */
+    std::size_t annealedCost = 0;
+
+    /** The search proved `cost` optimal (UNSAT at cost - 1). */
+    bool provedOptimal = false;
+
+    /** SAT solve() calls made (0 for closed-form strategies). */
+    std::size_t satCalls = 0;
+};
+
+/** The full output of one compilation. */
+struct CompilationResult
+{
+    /** The chosen Fermion-to-qubit encoding. */
+    enc::FermionEncoding encoding;
+
+    /**
+     * The problem Hamiltonian mapped through `encoding` (empty sum
+     * when the request carried no Hamiltonian).
+     */
+    pauli::PauliSum qubitHamiltonian;
+
+    /**
+     * Measurement plan: the qubit Hamiltonian's terms partitioned
+     * into qubit-wise commuting families (one basis rotation each).
+     */
+    std::vector<pauli::CommutingGroup> measurementGroups;
+
+    // --- cost -------------------------------------------------
+    /** Objective value of `encoding`. */
+    std::size_t cost = 0;
+    /** Objective value of the Bravyi-Kitaev baseline. */
+    std::size_t baselineCost = 0;
+    /** Post-annealing objective value (0 when not annealed). */
+    std::size_t annealedCost = 0;
+    /** `cost` is proved optimal. */
+    bool provedOptimal = false;
+
+    // --- provenance -------------------------------------------
+    /** Strategy that produced the encoding. */
+    std::string strategy;
+    /** Resolved objective the search minimised. */
+    Objective objective = Objective::TotalWeight;
+    /** SAT solve() calls made (0 = no SAT involved). */
+    std::size_t satCalls = 0;
+    /** Constraint checks re-evaluated on `encoding`. */
+    enc::EncodingValidation validation;
+
+    // --- run stats (not part of the serialized identity) ------
+    /** Wall-clock seconds spent in the encoding search. */
+    double searchSeconds = 0.0;
+    /** Wall-clock seconds spent mapping + grouping. */
+    double mappingSeconds = 0.0;
+    /** The result came from a CompilerService cache hit. */
+    bool fromCache = false;
+};
+
+/**
+ * The facade: resolves the strategy by name and runs the pipeline
+ * end to end. Stateless and cheap to construct; for caching and
+ * async submission use CompilerService (api/service.h).
+ */
+class Compiler
+{
+  public:
+    /** Run the full pipeline for one request. */
+    CompilationResult compile(const CompilationRequest &request) const;
+
+    /**
+     * Rebuild the Hamiltonian-dependent parts of a result (qubit
+     * Hamiltonian, measurement groups, validation) from a search
+     * outcome — the deterministic step shared by fresh compiles
+     * and cache hits.
+     */
+    static CompilationResult assemble(
+        const CompilationRequest &request,
+        const SearchOutcome &outcome);
+};
+
+} // namespace fermihedral::api
+
+#endif // FERMIHEDRAL_API_COMPILER_H

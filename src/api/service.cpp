@@ -1,0 +1,293 @@
+#include "api/service.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/serialize.h"
+#include "api/strategy_registry.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fermihedral::api {
+
+namespace {
+
+/** FNV-1a 64-bit hash of the canonical key (file names). */
+std::uint64_t
+fnv1a64(std::string_view text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::string
+CompilerService::canonicalRequestKey(
+    const CompilationRequest &request)
+{
+    const Objective objective = request.resolvedObjective();
+    std::ostringstream key;
+    key << "v1|strategy=" << request.strategy
+        << "|objective=" << objectiveName(objective)
+        << "|modes=" << request.resolvedModes()
+        << "|alg=" << (request.algebraicIndependence ? 1 : 0)
+        << "|vac=" << (request.vacuumPreservation ? 1 : 0);
+    if (objective == Objective::HamiltonianWeight) {
+        key << "|structure=" << std::hex;
+        bool first = true;
+        for (const auto &subset :
+             fermion::majoranaStructure(*request.hamiltonian)) {
+            key << (first ? "" : ",") << subset.mask << 'x'
+                << subset.multiplicity;
+            first = false;
+        }
+    }
+    return key.str();
+}
+
+CompilerService::CompilerService(const ServiceOptions &options)
+    : options(options),
+      pool(ThreadPool::resolveThreadCount(
+          static_cast<std::int64_t>(options.threads))),
+      dispatcher([this] { dispatcherLoop(); })
+{
+}
+
+CompilerService::~CompilerService()
+{
+    {
+        std::lock_guard lock(queueMutex);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    dispatcher.join();
+}
+
+std::string
+CompilerService::diskEntryPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.fhc",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return (std::filesystem::path(options.diskCachePath) / name)
+        .string();
+}
+
+std::optional<SearchOutcome>
+CompilerService::lookup(const std::string &key)
+{
+    {
+        std::lock_guard lock(cacheMutex);
+        const auto it = lruIndex.find(key);
+        if (it != lruIndex.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            ++stats.hits;
+            return it->second->outcome;
+        }
+    }
+    if (options.diskCachePath.empty())
+        return std::nullopt;
+
+    const std::string path = diskEntryPath(key);
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return std::nullopt;
+    std::ostringstream content;
+    content << file.rdbuf();
+    std::string_view text{content.view()};
+
+    // First line must restate the canonical key: it guards against
+    // both corruption and (improbable) hash collisions.
+    std::optional<SearchOutcome> outcome;
+    const std::string expected = "key " + key + "\n";
+    if (text.substr(0, expected.size()) == expected)
+        outcome = tryParseOutcome(text.substr(expected.size()));
+    std::lock_guard lock(cacheMutex);
+    if (!outcome) {
+        ++stats.corrupted;
+        return std::nullopt;
+    }
+    ++stats.hits;
+    ++stats.diskHits;
+    // Promote into the LRU so later hits skip the disk read.
+    insertLocked(key, *outcome);
+    return outcome;
+}
+
+void
+CompilerService::insertLocked(const std::string &key,
+                              const SearchOutcome &outcome)
+{
+    if (options.cacheCapacity == 0 ||
+        lruIndex.find(key) != lruIndex.end())
+        return;
+    lru.push_front(CacheEntry{key, outcome});
+    lruIndex.emplace(key, lru.begin());
+    ++stats.insertions;
+    while (lru.size() > options.cacheCapacity) {
+        lruIndex.erase(lru.back().key);
+        lru.pop_back();
+        ++stats.evictions;
+    }
+}
+
+void
+CompilerService::store(const std::string &key,
+                       const SearchOutcome &outcome)
+{
+    {
+        std::lock_guard lock(cacheMutex);
+        insertLocked(key, outcome);
+    }
+    if (options.diskCachePath.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(options.diskCachePath, ec);
+    if (ec) {
+        warn("encoding cache: cannot create '",
+             options.diskCachePath, "': ", ec.message());
+        return;
+    }
+    // Write-temp-then-rename: concurrent stores of the same key
+    // (two pool threads computing identical requests) each land a
+    // complete file; the rename is atomic, so readers never see a
+    // torn entry.
+    const std::string path = diskEntryPath(key);
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp."
+             << std::hash<std::thread::id>{}(
+                    std::this_thread::get_id());
+    {
+        std::ofstream file(tmp_name.str(),
+                           std::ios::binary | std::ios::trunc);
+        if (!file) {
+            warn("encoding cache: cannot write '", tmp_name.str(),
+                 "'");
+            return;
+        }
+        file << "key " << key << '\n' << serializeOutcome(outcome);
+    }
+    std::filesystem::rename(tmp_name.str(), path, ec);
+    if (ec)
+        warn("encoding cache: cannot publish '", path, "': ",
+             ec.message());
+}
+
+CompilationResult
+CompilerService::compile(const CompilationRequest &request)
+{
+    const std::string key = canonicalRequestKey(request);
+    if (auto cached = lookup(key)) {
+        CompilationResult result =
+            Compiler::assemble(request, *cached);
+        result.fromCache = true;
+        return result;
+    }
+
+    Timer timer;
+    const auto strategy = makeStrategy(request.strategy);
+    const SearchOutcome outcome = strategy->search(request);
+    const double search_seconds = timer.seconds();
+    {
+        std::lock_guard lock(cacheMutex);
+        ++stats.misses;
+        ++stats.computes;
+    }
+    store(key, outcome);
+    CompilationResult result = Compiler::assemble(request, outcome);
+    result.searchSeconds = search_seconds;
+    return result;
+}
+
+std::future<CompilationResult>
+CompilerService::submit(CompilationRequest request)
+{
+    // Fail fast on unknown strategies (with the nearest-name
+    // suggestion) instead of burying the diagnostic in a future.
+    makeStrategy(request.strategy);
+
+    std::packaged_task<CompilationResult()> task(
+        [this, request = std::move(request)] {
+            return compile(request);
+        });
+    auto future = task.get_future();
+    {
+        std::lock_guard lock(queueMutex);
+        require(!stopping,
+                "CompilerService::submit after shutdown began");
+        queue.push_back(std::move(task));
+    }
+    queueCv.notify_one();
+    return future;
+}
+
+std::vector<CompilationResult>
+CompilerService::compileBatch(
+    std::vector<CompilationRequest> requests)
+{
+    std::vector<std::future<CompilationResult>> futures;
+    futures.reserve(requests.size());
+    for (auto &request : requests)
+        futures.push_back(submit(std::move(request)));
+    std::vector<CompilationResult> results;
+    results.reserve(futures.size());
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+void
+CompilerService::dispatcherLoop()
+{
+    for (;;) {
+        std::vector<std::packaged_task<CompilationResult()>> batch;
+        {
+            std::unique_lock lock(queueMutex);
+            queueCv.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping, and fully drained
+            batch.assign(
+                std::make_move_iterator(queue.begin()),
+                std::make_move_iterator(queue.end()));
+            queue.clear();
+        }
+        // packaged_task stores exceptions in its future, so tasks
+        // never throw across the pool (its documented contract).
+        pool.forEach(batch.size(), [&batch](std::size_t index) {
+            batch[index]();
+        });
+    }
+}
+
+CacheStats
+CompilerService::cacheStats() const
+{
+    std::lock_guard lock(cacheMutex);
+    return stats;
+}
+
+std::string
+CompilerService::cacheStatsJson() const
+{
+    const CacheStats snapshot = cacheStats();
+    std::ostringstream out;
+    out << "{\"hits\":" << snapshot.hits
+        << ",\"diskHits\":" << snapshot.diskHits
+        << ",\"misses\":" << snapshot.misses
+        << ",\"computes\":" << snapshot.computes
+        << ",\"insertions\":" << snapshot.insertions
+        << ",\"evictions\":" << snapshot.evictions
+        << ",\"corrupted\":" << snapshot.corrupted << "}";
+    return out.str();
+}
+
+} // namespace fermihedral::api

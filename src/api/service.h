@@ -1,0 +1,179 @@
+/**
+ * @file
+ * CompilerService: the serving layer on top of the Compiler facade
+ * — batch/async submission over the shared common/parallel.h
+ * ThreadPool plus a content-addressed encoding cache (in-memory
+ * LRU, optional on-disk store), so repeated requests for an
+ * already-solved (modes, objective, constraints) spec skip the SAT
+ * search entirely.
+ *
+ * Cache identity. canonicalRequestKey() renders the parts of a
+ * request the built-in strategies' searches consume: strategy name,
+ * resolved objective, mode count, constraint toggles, and — for
+ * Hamiltonian-dependent objectives — the Eq. 14 cost structure
+ * (Majorana subset masks with multiplicities). Execution knobs
+ * (budgets, threads, determinism, preprocessing) are deliberately
+ * NOT part of the identity: once a spec is solved, later requests
+ * reuse the encoding whatever budget they carried. A custom
+ * strategy whose search depends on data outside the key (e.g.\ raw
+ * term coefficients) should run with caching disabled
+ * (cacheCapacity = 0 and no disk path).
+ *
+ * Key invariants:
+ *  - A cache hit reproduces the original CompilationResult
+ *    bit-identically in every serialized field (the stored payload
+ *    is the SearchOutcome; mapping and grouping are re-derived
+ *    deterministically) with fromCache = true and no strategy
+ *    execution — cacheStats().computes does not move.
+ *  - Corrupted or version-mismatched on-disk entries are counted
+ *    (CacheStats::corrupted) and treated as misses, then
+ *    overwritten by the recomputed entry; they never abort.
+ *  - submit() never runs work on the caller's thread; tasks are
+ *    drained by one dispatcher thread that fans each batch over
+ *    the service's ThreadPool (the pool's one-loop-at-a-time
+ *    contract is respected). Failures surface through the future.
+ *    Identical requests in flight at the same moment are NOT
+ *    deduplicated — each computes (first store wins; disk entries
+ *    are published by atomic rename, so none is ever torn).
+ *  - The destructor drains every submitted task before returning,
+ *    so futures obtained from submit() never dangle.
+ */
+
+#ifndef FERMIHEDRAL_API_SERVICE_H
+#define FERMIHEDRAL_API_SERVICE_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/compiler.h"
+#include "common/parallel.h"
+
+namespace fermihedral::api {
+
+/** Configuration of a CompilerService. */
+struct ServiceOptions
+{
+    /**
+     * Threads compiling submitted requests concurrently
+     * (0 = hardware concurrency).
+     */
+    std::size_t threads = 1;
+
+    /** In-memory LRU capacity in entries (0 disables it). */
+    std::size_t cacheCapacity = 256;
+
+    /**
+     * Directory for the on-disk encoding store (one file per
+     * canonical key hash). Empty disables persistence; the
+     * directory is created on first write.
+     */
+    std::string diskCachePath;
+};
+
+/** Cache behaviour counters. */
+struct CacheStats
+{
+    /** Requests answered from the cache (memory or disk). */
+    std::size_t hits = 0;
+    /** Hits served by parsing an on-disk entry. */
+    std::size_t diskHits = 0;
+    /** Requests that had to run the strategy. */
+    std::size_t misses = 0;
+    /** Strategy executions (== misses; split for readability). */
+    std::size_t computes = 0;
+    /** Entries written into the in-memory LRU. */
+    std::size_t insertions = 0;
+    /** LRU entries discarded for capacity. */
+    std::size_t evictions = 0;
+    /** On-disk entries rejected as corrupted or mismatched. */
+    std::size_t corrupted = 0;
+};
+
+/** The cached, batching compilation service (see file docs). */
+class CompilerService
+{
+  public:
+    explicit CompilerService(const ServiceOptions &options = {});
+    ~CompilerService();
+
+    CompilerService(const CompilerService &) = delete;
+    CompilerService &operator=(const CompilerService &) = delete;
+
+    /**
+     * Compile synchronously on the caller's thread, consulting the
+     * cache first. Thread-safe.
+     */
+    CompilationResult compile(const CompilationRequest &request);
+
+    /**
+     * Enqueue a request for asynchronous compilation on the
+     * service's thread pool. The strategy name is validated here
+     * (fatal on unknown names); all later failures surface through
+     * the returned future.
+     */
+    std::future<CompilationResult> submit(CompilationRequest request);
+
+    /** Submit every request, wait for all, return in order. */
+    std::vector<CompilationResult> compileBatch(
+        std::vector<CompilationRequest> requests);
+
+    /** Snapshot of the cache counters. */
+    CacheStats cacheStats() const;
+
+    /** The counters as a single-line JSON object (CI artifacts). */
+    std::string cacheStatsJson() const;
+
+    /**
+     * The canonical cache identity of a request (see file docs).
+     * Deterministic, space-free, human-readable.
+     */
+    static std::string canonicalRequestKey(
+        const CompilationRequest &request);
+
+  private:
+    struct CacheEntry
+    {
+        std::string key;
+        SearchOutcome outcome;
+    };
+    using LruList = std::list<CacheEntry>;
+
+    /** Cache lookup (memory, then disk). nullopt = miss. */
+    std::optional<SearchOutcome> lookup(const std::string &key);
+
+    /** Insert into the LRU (and the disk store when configured). */
+    void store(const std::string &key, const SearchOutcome &outcome);
+
+    /** LRU insert + capacity eviction; cacheMutex must be held. */
+    void insertLocked(const std::string &key,
+                      const SearchOutcome &outcome);
+
+    std::string diskEntryPath(const std::string &key) const;
+
+    void dispatcherLoop();
+
+    ServiceOptions options;
+
+    mutable std::mutex cacheMutex;
+    LruList lru;
+    std::unordered_map<std::string, LruList::iterator> lruIndex;
+    CacheStats stats;
+
+    ThreadPool pool;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<std::packaged_task<CompilationResult()>> queue;
+    bool stopping = false;
+    std::thread dispatcher;
+};
+
+} // namespace fermihedral::api
+
+#endif // FERMIHEDRAL_API_SERVICE_H

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/suggest.h"
 
 namespace fermihedral {
 
@@ -136,8 +137,16 @@ FlagSet::parse(int argc, char **argv)
         }
 
         Flag *flag = find(arg);
-        if (!flag)
+        if (!flag) {
+            std::vector<std::string> names;
+            names.reserve(flags.size());
+            for (const Flag *registered : flags)
+                names.push_back(registered->name);
+            if (const auto nearest = suggestNearest(arg, names))
+                fatal("unknown flag '--", arg, "' (did you mean '--",
+                      *nearest, "'?)");
             fatal("unknown flag '--", arg, "' (try --help)");
+        }
 
         if (!has_value) {
             if (flag->kind == Kind::Bool) {

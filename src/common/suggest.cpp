@@ -1,0 +1,47 @@
+#include "common/suggest.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fermihedral {
+
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    // Single-row dynamic program; row[j] holds the distance between
+    // a's processed prefix and b's first j characters.
+    std::vector<std::size_t> row(b.size() + 1);
+    std::iota(row.begin(), row.end(), std::size_t{0});
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1,     // delete from a
+                               row[j - 1] + 1, // insert into a
+                               substitute});
+        }
+    }
+    return row[b.size()];
+}
+
+std::optional<std::string>
+suggestNearest(std::string_view name,
+               const std::vector<std::string> &candidates,
+               std::size_t max_distance)
+{
+    std::optional<std::string> best;
+    std::size_t best_distance = max_distance + 1;
+    for (const std::string &candidate : candidates) {
+        const std::size_t distance = editDistance(name, candidate);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+} // namespace fermihedral

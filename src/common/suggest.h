@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Name-suggestion helper for diagnostics: when the user passes an
+ * unknown flag or strategy name, the error message proposes the
+ * nearest registered name so typos are one glance to fix.
+ *
+ * Key invariants:
+ *  - editDistance() is the exact Levenshtein distance (unit-cost
+ *    insert/delete/substitute), symmetric in its arguments.
+ *  - suggestNearest() returns a candidate only when its distance is
+ *    <= max_distance; ties resolve to the earliest candidate, so
+ *    suggestions are deterministic in registration order.
+ */
+
+#ifndef FERMIHEDRAL_COMMON_SUGGEST_H
+#define FERMIHEDRAL_COMMON_SUGGEST_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fermihedral {
+
+/** Exact Levenshtein distance between two strings. */
+std::size_t editDistance(std::string_view a, std::string_view b);
+
+/**
+ * The candidate closest to `name` in edit distance, when that
+ * distance is at most `max_distance`; std::nullopt otherwise.
+ */
+std::optional<std::string> suggestNearest(
+    std::string_view name, const std::vector<std::string> &candidates,
+    std::size_t max_distance = 2);
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_SUGGEST_H

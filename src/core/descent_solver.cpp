@@ -152,8 +152,12 @@ std::vector<enc::FermionEncoding>
 DescentSolver::enumerateOptimal(std::size_t count,
                                 double timeout_seconds)
 {
-    require(lastResult.has_value(),
-            "enumerateOptimal requires a prior solve()");
+    // Calling out of order is a user error (the caller skipped a
+    // documented step), not a library bug: report it as a fatal
+    // diagnostic like FlagSet does for malformed flag values.
+    if (!lastResult.has_value())
+        fatal("DescentSolver::enumerateOptimal() requires a "
+              "completed solve() first (documented precondition)");
     std::vector<enc::FermionEncoding> encodings;
     if (lastResult->cost == 0 || !model)
         return encodings;

@@ -24,9 +24,10 @@
  *    UNSAT at cost - 1 (never on a timeout).
  *  - The cost trajectory is strictly decreasing: each SAT model
  *    accepted during descent is strictly cheaper than the last.
- *  - enumerateOptimal() may only be called after solve(); the
- *    returned encodings are pairwise distinct operator assignments
- *    at cost <= the best found.
+ *  - enumerateOptimal() may only be called after solve(); calling
+ *    it first is a fatal diagnostic (FatalError). The returned
+ *    encodings are pairwise distinct operator assignments at
+ *    cost <= the best found.
  */
 
 #ifndef FERMIHEDRAL_CORE_DESCENT_SOLVER_H

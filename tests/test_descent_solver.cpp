@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "common/logging.h"
 #include "core/descent_solver.h"
 #include "encodings/linear.h"
 #include "fermion/models.h"
@@ -176,6 +177,18 @@ TEST(DescentSolver, RacingPortfolioFindsSameOptimum)
     EXPECT_EQ(racing.cost, plain.cost);
     EXPECT_TRUE(racing.provedOptimal);
     EXPECT_TRUE(enc::validateEncoding(racing.encoding).valid());
+}
+
+TEST(DescentSolver, EnumerateOptimalBeforeSolveIsFatal)
+{
+    // The documented precondition (solve() first) must be a fatal
+    // diagnostic, consistent with FlagSet::assign on malformed
+    // values — not silent misbehaviour.
+    DescentSolver solver(2, fastOptions());
+    EXPECT_THROW(solver.enumerateOptimal(1, 1.0), FatalError);
+    // After solve() the same call succeeds.
+    solver.solve();
+    EXPECT_FALSE(solver.enumerateOptimal(1, 10.0).empty());
 }
 
 TEST(DescentSolver, EnumerateOptimalYieldsDistinctValidEncodings)

@@ -7,6 +7,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/suggest.h"
 #include "common/table.h"
 
 namespace fermihedral {
@@ -73,6 +74,64 @@ TEST(Flags, UnknownFlagIsFatal)
     char a1[] = "--nonsense";
     char *argv[] = {prog, a1};
     EXPECT_THROW(flags.parse(2, argv), FatalError);
+}
+
+TEST(Flags, UnknownFlagSuggestsNearestName)
+{
+    FlagSet flags("test");
+    flags.addInt("modes", 6, "mode count");
+    flags.addInt("timeout", 30, "budget");
+    char prog[] = "prog";
+    char a1[] = "--mdoes=4"; // transposition: distance 2
+    char *argv[] = {prog, a1};
+    try {
+        flags.parse(2, argv);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("did you mean '--modes'"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Flags, UnknownFlagFarFromEverythingGetsNoSuggestion)
+{
+    FlagSet flags("test");
+    flags.addInt("modes", 6, "mode count");
+    char prog[] = "prog";
+    char a1[] = "--qqqqqqqq";
+    char *argv[] = {prog, a1};
+    try {
+        flags.parse(2, argv);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        const std::string what = error.what();
+        EXPECT_EQ(what.find("did you mean"), std::string::npos);
+        EXPECT_NE(what.find("try --help"), std::string::npos);
+    }
+}
+
+TEST(Suggest, EditDistanceIsExactLevenshtein)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("modes", "mdoes"), 2u);
+    EXPECT_EQ(editDistance("sat-noalg", "sat-noalgo"), 1u);
+}
+
+TEST(Suggest, NearestRespectsTheDistanceCap)
+{
+    const std::vector<std::string> names = {"modes", "timeout",
+                                            "threads"};
+    EXPECT_EQ(suggestNearest("mode", names).value_or(""), "modes");
+    EXPECT_EQ(suggestNearest("threds", names).value_or(""),
+              "threads");
+    EXPECT_FALSE(suggestNearest("zzzz", names).has_value());
+    EXPECT_FALSE(suggestNearest("mo", names).has_value());
 }
 
 TEST(Table, RendersAlignedColumns)
