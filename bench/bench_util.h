@@ -37,6 +37,8 @@ struct EngineFlags
     const std::int64_t *instances = nullptr;
     const bool *racing = nullptr;
     const bool *preprocess = nullptr;
+    const bool *carry = nullptr;
+    const bool *inprocess = nullptr;
 
     static EngineFlags
     add(FlagSet &flags)
@@ -55,6 +57,13 @@ struct EngineFlags
         engine.preprocess = flags.addBool(
             "preprocess", true,
             "simplify the clause database before solving");
+        engine.carry = flags.addBool(
+            "carry", true,
+            "keep learnt clauses across descent steps "
+            "(=false clears them after every SAT call)");
+        engine.inprocess = flags.addBool(
+            "inprocess", true,
+            "subsumption + vivification between descent steps");
         storage() = engine;
         return engine;
     }
@@ -68,6 +77,8 @@ struct EngineFlags
             *instances < 0 ? 0 : *instances);
         options.deterministic = !*racing;
         options.preprocess = *preprocess;
+        options.carryLearnts = *carry;
+        options.inprocess = *inprocess;
     }
 
     void
@@ -79,6 +90,8 @@ struct EngineFlags
             *instances < 0 ? 0 : *instances);
         request.deterministic = !*racing;
         request.preprocess = *preprocess;
+        request.carryLearnts = *carry;
+        request.inprocess = *inprocess;
     }
 
     /** The overlay armed by add(), if any (one per binary). */

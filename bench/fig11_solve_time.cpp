@@ -10,10 +10,12 @@
  * --threads/--instances/--racing/--preprocess select the portfolio
  * configuration, a second table reports per-run solver statistics
  * (propagations, conflicts, learnt literals, simplifier
- * eliminations), --compare races the configured engine against the
- * plain seed solver at equal budgets and reports the
- * descended-cost-vs-wallclock outcome, and --json dumps everything
- * as a machine-readable artifact for CI trend tracking.
+ * eliminations), --compare races the configured engine against
+ * its ungated predecessor (unbudgeted upfront preprocessing, no
+ * between-step maintenance) at equal budgets — best-of---repeats
+ * per cell — and reports the descended-cost-vs-wallclock outcome,
+ * and --json dumps everything as a machine-readable artifact for
+ * CI trend tracking.
  */
 
 #include <cstdio>
@@ -38,19 +40,22 @@ struct Measurement
 
 Measurement
 run(std::size_t modes, bench::Config config, double timeout,
-    bool seed_engine)
+    bool baseline_engine)
 {
     // Same paper configuration the other benches use. The
     // registered EngineFlags overlay has already been applied by
-    // descentOptions(); seed runs then pin the pre-portfolio
-    // engine (one plain instance, no preprocessing) over it.
+    // descentOptions(); baseline runs then pin the previous
+    // engine generation over it: unconditional upfront
+    // preprocessing (no wall-clock budget, no size ceiling) and no
+    // between-step maintenance. It reused one incremental solver
+    // across bound steps — implicit carry-over — so carry stays on.
     core::DescentOptions options =
         bench::descentOptions(config, timeout / 2.0, timeout);
-    if (seed_engine) {
-        options.threads = 1;
-        options.portfolioInstances = 1;
-        options.deterministic = true;
-        options.preprocess = false;
+    if (baseline_engine) {
+        options.inprocess = false;
+        options.carryLearnts = true;
+        options.preprocessBudgetSeconds = -1.0;
+        options.preprocessMaxClauses = 0;
     }
     core::DescentSolver solver(modes, options);
     Measurement m;
@@ -117,6 +122,21 @@ appendRunJson(std::string &json, const char *label,
             std::to_string(s.simplifier.strengthenedLiterals);
     json += ",\"simplified_clauses\":" +
             std::to_string(s.simplifier.simplifiedClauses);
+    json += ",\"simplify_s\":" + Table::num(s.simplifier.seconds, 6);
+    json += ",\"gc_runs\":" +
+            std::to_string(s.aggregate.garbageCollects);
+    json += ",\"reclaimed_words\":" +
+            std::to_string(s.aggregate.reclaimedWords);
+    json += ",\"inprocessings\":" +
+            std::to_string(s.aggregate.inprocessings);
+    json += ",\"inprocess_subsumed\":" +
+            std::to_string(s.aggregate.inprocessSubsumed);
+    json += ",\"vivified_clauses\":" +
+            std::to_string(s.aggregate.vivifiedClauses);
+    json += ",\"vivified_literals\":" +
+            std::to_string(s.aggregate.vivifiedLiterals);
+    json += ",\"cleared_learnts\":" +
+            std::to_string(s.aggregate.clearedLearnts);
     json += ",\"last_winner\":" + std::to_string(s.lastWinner);
     json += "}";
 }
@@ -136,8 +156,13 @@ main(int argc, char **argv)
     const auto engine = bench::EngineFlags::add(flags);
     const auto *compare = flags.addBool(
         "compare", false,
-        "also run the plain seed solver (no portfolio, no "
-        "preprocessing) and report cost-vs-wallclock against it");
+        "also run the previous engine generation (ungated upfront "
+        "preprocessing, no between-step maintenance) and report "
+        "cost-vs-wallclock against it");
+    const auto *repeats = flags.addInt(
+        "repeats", 3,
+        "best-of repeats per --compare measurement (the duel "
+        "decides sub-10ms races; single runs are noise-bound)");
     const auto *json_path = flags.addString(
         "json", "", "write run statistics to this JSON file");
     if (!flags.parse(argc, argv))
@@ -151,23 +176,23 @@ main(int argc, char **argv)
                  "Speedup", "Same cost?"});
     Table stats({"Modes", "Config", "Props", "Conflicts",
                  "Learnt lits", "Elim vars", "Subsumed",
-                 "Clauses simp/orig", "SAT calls", "Cost@walltime"});
+                 "Clauses simp/orig", "GCs", "Inproc",
+                 "Viv lits", "SAT calls", "Cost@walltime"});
 
-    // Engine measurements, reused verbatim by --compare below (the
-    // deterministic engine would reproduce them bit-identically
-    // anyway; re-running would only double the wall-clock).
-    std::vector<Measurement> engine_with, engine_without;
+    // Discarded warmup: the first descent of the process pays the
+    // allocator and page-fault costs, which at N=2/3 are the same
+    // order as the measured solve itself.
+    (void)run(2, bench::Config::NoAlg, *timeout,
+              /*baseline_engine=*/false);
 
     for (std::int64_t n = 2; n <= *max_modes; ++n) {
         const auto with =
             run(static_cast<std::size_t>(n),
                 bench::Config::FullSat, *timeout,
-                /*seed_engine=*/false);
+                /*baseline_engine=*/false);
         const auto without =
             run(static_cast<std::size_t>(n), bench::Config::NoAlg,
-                *timeout, /*seed_engine=*/false);
-        engine_with.push_back(with);
-        engine_without.push_back(without);
+                *timeout, /*baseline_engine=*/false);
         auto speedup = [](double a, double b) {
             return b > 1e-9 ? Table::num(a / b, 1) + "x"
                             : std::string("-");
@@ -199,6 +224,12 @@ main(int argc, char **argv)
                      "/" +
                      Table::num(std::int64_t(
                          s.simplifier.originalClauses)),
+                 Table::num(std::int64_t(
+                     s.aggregate.garbageCollects)),
+                 Table::num(std::int64_t(
+                     s.aggregate.inprocessings)),
+                 Table::num(std::int64_t(
+                     s.aggregate.vivifiedLiterals)),
                  Table::num(std::int64_t(m->result.satCalls)),
                  trajectoryString(m->result)});
         }
@@ -217,50 +248,89 @@ main(int argc, char **argv)
             ? static_cast<std::size_t>(*engine.instances)
             : resolved_threads;
     std::printf("Engine: %zu thread(s), %zu instance(s), %s "
-                "arbitration, preprocessing %s.\n",
+                "arbitration, preprocessing %s, carry-over %s, "
+                "inprocessing %s.\n",
                 resolved_threads, resolved_instances,
                 *engine.racing ? "racing" : "deterministic",
-                *engine.preprocess ? "on" : "off");
+                *engine.preprocess ? "on" : "off",
+                *engine.carry ? "on" : "off",
+                *engine.inprocess ? "on" : "off");
 
     if (*compare) {
         std::printf("\n");
-        bench::banner("portfolio+preprocessing vs seed solver "
+        bench::banner("gated engine vs ungated predecessor "
                       "at equal budgets",
                       "Figure 11 extension");
-        Table duel({"Modes", "Config", "Cost seed", "Cost engine",
-                    "t-best seed (s)", "t-best engine (s)",
+        Table duel({"Modes", "Config", "Cost base", "Cost engine",
+                    "t-best base (s)", "t-best engine (s)",
                     "Speedup"});
+        // Lower cost wins outright; at equal cost the faster
+        // time-to-best does. Best-of-R with the two engines
+        // interleaved: process-level noise (page cache, scheduler)
+        // drifts over seconds, and at sub-10ms scales a single
+        // measurement is decided by that drift, not the solver.
+        const auto better = [](const Measurement &a,
+                               const Measurement &b) {
+            if (b.result.cost != a.result.cost)
+                return b.result.cost < a.result.cost;
+            return b.solve < a.solve;
+        };
+        const std::int64_t rounds = std::max<std::int64_t>(
+            std::int64_t{1}, *repeats);
         for (std::int64_t n = 2; n <= *max_modes; ++n) {
             for (const auto config : {bench::Config::FullSat,
                                       bench::Config::NoAlg}) {
                 const bool full =
                     config == bench::Config::FullSat;
-                const auto seed =
+                auto base =
                     run(static_cast<std::size_t>(n), config,
-                        *timeout, /*seed_engine=*/true);
-                const auto &tuned =
-                    full ? engine_with[static_cast<std::size_t>(
-                               n - 2)]
-                         : engine_without[static_cast<std::size_t>(
-                               n - 2)];
+                        *timeout, /*baseline_engine=*/true);
+                auto tuned =
+                    run(static_cast<std::size_t>(n), config,
+                        *timeout, /*baseline_engine=*/false);
+                // Cells whose whole solve is under half a second
+                // are decided by sub-millisecond scheduler noise:
+                // buy those extra rounds, they cost nearly nothing.
+                for (std::int64_t r = 1;
+                     r < rounds ||
+                     (r < 5 * rounds &&
+                      std::min(base.totalSolve,
+                               tuned.totalSolve) < 0.5);
+                     ++r) {
+                    const auto b =
+                        run(static_cast<std::size_t>(n), config,
+                            *timeout, /*baseline_engine=*/true);
+                    if (better(base, b))
+                        base = b;
+                    const auto e =
+                        run(static_cast<std::size_t>(n), config,
+                            *timeout, /*baseline_engine=*/false);
+                    if (better(tuned, e))
+                        tuned = e;
+                }
                 duel.addRow(
                     {Table::num(n), full ? "w/ alg" : "w/o alg",
-                     Table::num(std::int64_t(seed.result.cost)),
+                     Table::num(std::int64_t(base.result.cost)),
                      Table::num(std::int64_t(tuned.result.cost)),
-                     Table::num(seed.solve, 4),
+                     Table::num(base.solve, 4),
                      Table::num(tuned.solve, 4),
                      tuned.solve > 1e-9
-                         ? Table::num(seed.solve / tuned.solve,
+                         ? Table::num(base.solve / tuned.solve,
                                       2) +
                                "x"
                          : "-"});
-                // The engine runs are already in the JSON as
-                // full_sat/no_alg (they are the same measurements);
-                // only the seed baselines are new here.
+                // Both duel sides go to the JSON so engine_* vs
+                // baseline_* reproduces the table exactly (the
+                // first-loop full_sat/no_alg rows are single-shot
+                // and noisier).
                 appendRunJson(json,
-                              full ? "seed_full_sat"
-                                   : "seed_no_alg",
-                              n, seed);
+                              full ? "baseline_full_sat"
+                                   : "baseline_no_alg",
+                              n, base);
+                appendRunJson(json,
+                              full ? "engine_full_sat"
+                                   : "engine_no_alg",
+                              n, tuned);
             }
         }
         std::printf("%s", duel.render().c_str());

@@ -365,13 +365,12 @@ BENCHMARK(BM_PortfolioSolveRandom3Sat)
     ->Arg(4)
     ->UseRealTime();
 
-/** The N=4 encoding instance as a recorded CNF, built once. */
+/** The N=4 encoding instance as a snapshot CNF, built once. */
 const sat::Cnf &
 encodingCnf()
 {
     static const sat::Cnf cnf = [] {
         sat::Solver solver;
-        solver.enableRecording();
         core::EncodingModelOptions options;
         options.modes = 4;
         options.costCap =

@@ -31,6 +31,8 @@ struct InstanceSize
 {
     std::size_t vars = 0;
     std::size_t clauses = 0;
+    std::size_t binaryClauses = 0;
+    std::size_t arenaWords = 0;
     std::size_t simplifiedVars = 0;
     std::size_t simplifiedClauses = 0;
     std::size_t eliminated = 0;
@@ -51,6 +53,8 @@ buildInstance(std::size_t modes, bool algebraic_independence,
         core::EncodingModel model(solver, options);
         size.vars = solver.numVars();
         size.clauses = solver.numClauses();
+        size.binaryClauses = solver.numBinaryClauses();
+        size.arenaWords = solver.arenaWords();
     }
     if (simplify) {
         sat::PortfolioOptions engine;
@@ -94,6 +98,8 @@ main(int argc, char **argv)
                  "Vars/Clause w/o"});
     Table simplified({"Modes", "#Vars w/o", "simp", "#Clauses w/o",
                       "simp", "Eliminated", "Simplify (s)"});
+    Table layout({"Modes", "#Clauses w/o", "Binary", "Long",
+                  "Arena KiB", "B/clause"});
 
     for (std::int64_t n = 2; n <= *max_without; ++n) {
         const bool simplify = n <= *max_simplify;
@@ -128,6 +134,19 @@ main(int argc, char **argv)
                  Table::num(std::int64_t(without.eliminated)),
                  Table::num(without.simplifySeconds, 4)});
         }
+        layout.addRow(
+            {Table::num(n),
+             Table::num(std::int64_t(without.clauses)),
+             Table::num(std::int64_t(without.binaryClauses)),
+             Table::num(std::int64_t(without.clauses -
+                                     without.binaryClauses)),
+             Table::num(double(without.arenaWords) * 4.0 / 1024.0,
+                        1),
+             Table::num(without.clauses > 0
+                            ? double(without.arenaWords) * 4.0 /
+                                  double(without.clauses)
+                            : 0.0,
+                        1)});
     }
     std::printf("%s", table.render().c_str());
     std::printf("The 'with' columns grow ~4^N (paper: N/A beyond "
@@ -137,6 +156,13 @@ main(int argc, char **argv)
                 "resolution, bounded variable elimination; "
                 "operator bits and totalizer outputs frozen) "
                 "shrinks the instances before the descent's first "
-                "SAT call.\n");
+                "SAT call.\n\n");
+    std::printf("%s", layout.render().c_str());
+    std::printf("Solver-core layout of the raw instances: binary "
+                "clauses propagate entirely from their dedicated "
+                "watcher lists (the implied literal rides in the "
+                "watcher, so those chains never dereference the "
+                "arena); the arena footprint covers every stored "
+                "clause plus three metadata words each.\n");
     return 0;
 }

@@ -97,6 +97,12 @@ struct CompilationRequest
     /** Simplify the clause database before the first SAT call. */
     bool preprocess = true;
 
+    /** Keep learnt clauses across descent steps (carry-over). */
+    bool carryLearnts = true;
+
+    /** Inprocess clause databases between descent steps. */
+    bool inprocess = true;
+
     /** Mode count the search runs at (Hamiltonian wins). */
     std::size_t resolvedModes() const
     {

@@ -71,6 +71,8 @@ descentOptions(const CompilationRequest &request,
     options.portfolioInstances = request.portfolioInstances;
     options.deterministic = request.deterministic;
     options.preprocess = request.preprocess;
+    options.carryLearnts = request.carryLearnts;
+    options.inprocess = request.inprocess;
     return options;
 }
 

@@ -29,7 +29,32 @@ DescentSolver::makeSolver() const
     portfolio.instances = options.portfolioInstances;
     portfolio.deterministic = options.deterministic;
     portfolio.preprocess = options.preprocess;
+    portfolio.simplify.timeBudgetSeconds =
+        options.preprocessBudgetSeconds;
+    portfolio.preprocessMaxClauses = options.preprocessMaxClauses;
     return std::make_unique<sat::PortfolioSolver>(portfolio);
+}
+
+void
+DescentSolver::afterStep(std::size_t sat_calls)
+{
+    // Carry-over is the default: the bound only tightens, so every
+    // learnt clause stays sound. Dropping them here isolates each
+    // step (the measurement baseline, and a debugging aid).
+    if (!options.carryLearnts)
+        solver->clearLearnts();
+    if (options.inprocess && options.inprocessInterval > 0 &&
+        sat_calls % options.inprocessInterval == 0) {
+        // Difficulty gate: maintenance is only worth its wall-clock
+        // once the steps actually produce conflict-driven clauses.
+        const std::size_t conflicts =
+            solver->portfolioStats().aggregate.conflicts;
+        if (conflicts - inprocessedConflicts >=
+            options.inprocessMinConflicts) {
+            solver->inprocess();
+            inprocessedConflicts = conflicts;
+        }
+    }
 }
 
 std::size_t
@@ -91,6 +116,7 @@ DescentSolver::solve()
 
     Timer construct_timer;
     solver = makeSolver();
+    inprocessedConflicts = 0;
     EncodingModelOptions model_options;
     model_options.modes = modes;
     model_options.algebraicIndependence =
@@ -133,6 +159,7 @@ DescentSolver::solve()
             best = cost;
             result.trajectory.emplace_back(cost,
                                            total_timer.seconds());
+            afterStep(result.satCalls);
         } else if (status == sat::SolveStatus::Unsat) {
             result.provedOptimal = true;
             break;
@@ -168,6 +195,7 @@ DescentSolver::enumerateOptimal(std::size_t count,
     // instead rebuild once at the optimal bound).
     Timer timer;
     solver = makeSolver();
+    inprocessedConflicts = 0;
     EncodingModelOptions model_options;
     model_options.modes = modes;
     model_options.algebraicIndependence =

@@ -86,6 +86,60 @@ struct DescentOptions
     /** Simplify the clause database before the first SAT call. */
     bool preprocess = true;
 
+    /**
+     * Wall-clock cap on that upfront simplification run
+     * (<= 0 = unlimited). Preprocessing pays for itself many times
+     * over during the UNSAT proving rounds, but the paper's
+     * time-to-best clock starts before the first model: without a
+     * cap the simplifier can spend longer on a dense 4^N-clause
+     * instance than the whole improving phase takes.
+     */
+    double preprocessBudgetSeconds = 0.05;
+
+    /**
+     * Skip the upfront pass entirely for instances staged with
+     * more than this many clauses (0 = no ceiling). On
+     * totalizer-dominated instances past a few thousand clauses
+     * the occurrence index alone outweighs the improving phase;
+     * the gated inprocessing recovers the simplification once the
+     * proving rounds make it worthwhile.
+     */
+    std::size_t preprocessMaxClauses = 4000;
+
+    /**
+     * Keep each instance's learnt clauses across the descent's
+     * bound-tightening steps. The totalizer bound only ever
+     * tightens (one permanent unit clause per round), so clauses
+     * learnt at a looser bound remain sound at every tighter one
+     * and the next step starts from everything the last one
+     * derived. Off = Solver::clearLearnts() after every SAT call,
+     * the restart-from-scratch behaviour used to measure what
+     * carry-over buys (DescentResult::satStats counts conflicts).
+     */
+    bool carryLearnts = true;
+
+    /**
+     * Inprocess the clause databases between descent steps
+     * (subsumption + vivification, Solver::inprocess): each
+     * permanent bound unit lets the simplifier strip satisfied
+     * clauses and shorten the totalizer ladder before the next,
+     * harder SAT call.
+     */
+    bool inprocess = true;
+
+    /** Run inprocessing every this-many SAT steps (>= 1). */
+    std::size_t inprocessInterval = 3;
+
+    /**
+     * Skip inprocessing while the search is easy: maintenance only
+     * runs once at least this many conflicts accumulated since the
+     * last one. Early descent steps are often solved almost purely
+     * by propagation, and subsumption+vivification over a database
+     * that produced no learnt clauses is pure overhead on the
+     * time-to-best clock.
+     */
+    std::size_t inprocessMinConflicts = 2000;
+
     /** Override the initial bound (default: Bravyi-Kitaev cost). */
     std::optional<std::size_t> initialBound;
 
@@ -168,7 +222,13 @@ class DescentSolver
     std::unique_ptr<EncodingModel> model;
     std::optional<DescentResult> lastResult;
 
+    /** Conflict count at the last inprocessing run (gate state). */
+    std::size_t inprocessedConflicts = 0;
+
     std::unique_ptr<sat::PortfolioSolver> makeSolver() const;
+
+    /** Carry-over / inprocessing maintenance after a SAT step. */
+    void afterStep(std::size_t sat_calls);
 
     std::size_t baselineCost(const enc::FermionEncoding &bk) const;
 };

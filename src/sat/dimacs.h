@@ -4,9 +4,7 @@
  *
  * Lets the generated encoding instances run on external solvers
  * (Kissat, CaDiCaL) for cross-checking, and lets regression CNFs be
- * loaded back into this solver. The Solver itself does not retain
- * removed duplicate/tautology clauses, so export works through a
- * recording proxy.
+ * loaded back into this solver.
  *
  * Key invariants:
  *  - toDimacs(parseDimacs(text)) preserves the clause list exactly
@@ -18,8 +16,12 @@
  *    contradictory (x and NOT x) literal outright: such clauses
  *    are invariably generator bugs, and catching them at the
  *    parser keeps them out of the solver and the simplifier.
- *  - snapshotCnf() captures the verbatim addClause() stream — it
- *    requires Solver::enableRecording() before the first clause.
+ *  - snapshotCnf() exports only problem clauses and top-level
+ *    facts, never learnt clauses: the result is logically
+ *    equivalent to the solver's addClause() stream (duplicate,
+ *    tautological and satisfied clauses may be dropped and clauses
+ *    may be shrunk by inprocessing) and is stable across learnt-DB
+ *    reduction, clearLearnts() and arena garbage collection.
  */
 
 #ifndef FERMIHEDRAL_SAT_DIMACS_H
@@ -64,8 +66,10 @@ std::string toDimacs(const Cnf &cnf);
 Cnf parseDimacs(const std::string &text);
 
 /**
- * Snapshot of a recording solver's clause stream as a Cnf (see
- * Solver::enableRecording). The variable count is the solver's.
+ * Snapshot of a solver's live problem clauses as a Cnf (see
+ * Solver::problemClausesSnapshot): top-level facts as units plus the
+ * current problem clauses, never learnt clauses. The variable count
+ * is the solver's.
  */
 Cnf snapshotCnf(const Solver &solver);
 

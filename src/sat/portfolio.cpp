@@ -270,7 +270,11 @@ PortfolioSolver::build(bool skip_preprocess)
     require(!built, "portfolio built twice");
 
     std::vector<std::vector<Lit>> load;
-    if (options.preprocess && !skip_preprocess && !stagedUnsat) {
+    const bool under_ceiling =
+        options.preprocessMaxClauses == 0 ||
+        pendingClauses.size() <= options.preprocessMaxClauses;
+    if (options.preprocess && under_ceiling && !skip_preprocess &&
+        !stagedUnsat) {
         simplifier = std::make_unique<Simplifier>(varCount);
         for (const auto &clause : pendingClauses)
             simplifier->addClause(clause);
@@ -337,6 +341,29 @@ PortfolioSolver::prepare()
 {
     if (!built)
         build(/*skip_preprocess=*/false);
+}
+
+bool
+PortfolioSolver::inprocess()
+{
+    if (!built || topLevelUnsat)
+        return !inconsistent();
+    // Each instance inprocesses its own database; the pass is a
+    // per-instance deterministic function of its state, so fanning
+    // out over the pool cannot perturb deterministic arbitration.
+    pool->forEach(instanceCount, [&](std::size_t i) {
+        instances[i]->inprocess(options.inprocess);
+    });
+    return !inconsistent();
+}
+
+void
+PortfolioSolver::clearLearnts()
+{
+    if (!built)
+        return;
+    for (auto &instance : instances)
+        instance->clearLearnts();
 }
 
 SolveStatus

@@ -141,8 +141,21 @@ struct PortfolioOptions
     /** Simplifier effort limits. */
     SimplifierOptions simplify;
 
+    /**
+     * Skip preprocessing for instances staged with more than this
+     * many clauses (0 = no ceiling). Building the occurrence index
+     * and running the resolvent checks scales with the database
+     * size, so past some density the upfront pass costs more than
+     * it saves; inprocessing can still simplify later, once the
+     * search has shown the instance is actually hard.
+     */
+    std::size_t preprocessMaxClauses = 0;
+
     /** Exchange learnt clauses (racing mode only). */
     bool shareClauses = true;
+
+    /** Effort limits forwarded to inprocess() calls. */
+    InprocessOptions inprocess;
 
     /** LBD ceiling for shared clauses. */
     std::uint32_t shareMaxLbd = 2;
@@ -198,6 +211,22 @@ class PortfolioSolver final : public SolverBase
      * portfolioStats().simplifier without solving anything.
      */
     void prepare();
+
+    /**
+     * Inprocess every instance's clause database between solve()
+     * calls (Solver::inprocess with options.inprocess limits).
+     * Returns false when any instance refuted the formula. Runs in
+     * parallel over the pool; instance order and results stay
+     * deterministic (each instance's trajectory is independent).
+     */
+    bool inprocess();
+
+    /**
+     * Drop every instance's learnt clauses (Solver::clearLearnts):
+     * the carry-over reset used to measure what incremental reuse
+     * buys across the descent's bound-tightening steps.
+     */
+    void clearLearnts();
 
     using SolverBase::modelValue;
     LBool modelValue(Var var) const override;

@@ -25,6 +25,28 @@ Simplifier::signatureOf(std::span<const Lit> literals)
     return signature;
 }
 
+bool
+Simplifier::overBudget() const
+{
+    if (budgetSeconds <= 0.0)
+        return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - budgetStart;
+    return elapsed.count() >= budgetSeconds;
+}
+
+bool
+Simplifier::pollBudget()
+{
+    // The clock read costs more than a cheap queue step does:
+    // sample it instead of reading it on every iteration.
+    if (budgetSeconds <= 0.0)
+        return false;
+    if ((++budgetTick & 63u) != 0)
+        return false;
+    return overBudget();
+}
+
 LBool
 Simplifier::valueOf(Lit lit) const
 {
@@ -243,6 +265,8 @@ Simplifier::subsumptionPass(const SimplifierOptions &options)
             return false;
         if (subsumptionQueue.empty())
             break;
+        if (pollBudget())
+            break; // queued work stays queued, soundly undone
         const std::size_t index = subsumptionQueue.back();
         subsumptionQueue.pop_back();
         queued[index] = 0;
@@ -431,6 +455,8 @@ Simplifier::eliminationPass(const SimplifierOptions &options,
     for (const auto &[count, var] : candidates) {
         if (!propagateUnits())
             return false;
+        if (pollBudget())
+            break;
         if (tryEliminate(var, options))
             changed = true;
         if (contradiction)
@@ -445,7 +471,12 @@ Simplifier::run(const SimplifierOptions &options)
     require(!ran, "Simplifier::run() may only be called once");
     ran = true;
     const Timer run_timer;
+    budgetSeconds = options.timeBudgetSeconds;
+    budgetStart = std::chrono::steady_clock::now();
+    budgetTick = 0;
     for (std::size_t round = 0; round < options.maxRounds; ++round) {
+        if (overBudget())
+            break;
         if (!propagateUnits())
             break;
         if (!subsumptionPass(options))

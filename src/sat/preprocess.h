@@ -41,6 +41,7 @@
 #ifndef FERMIHEDRAL_SAT_PREPROCESS_H
 #define FERMIHEDRAL_SAT_PREPROCESS_H
 
+#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -73,6 +74,15 @@ struct SimplifierOptions
 
     /** Maximum subsumption+elimination rounds before settling. */
     std::size_t maxRounds = 8;
+
+    /**
+     * Stop simplifying once this much wall-clock has elapsed
+     * (<= 0 = unlimited). Checked between rounds and periodically
+     * inside the subsumption/elimination passes; stopping anywhere
+     * is sound because every individual rewrite preserves
+     * equisatisfiability and the witness stack on its own.
+     */
+    double timeBudgetSeconds = -1.0;
 };
 
 /** Counters of one simplification run. */
@@ -173,6 +183,13 @@ class Simplifier
     bool ran = false;
     SimplifierStats statistics;
 
+    /** Effort-budget state, valid during run() only. */
+    double budgetSeconds = -1.0;
+    std::chrono::steady_clock::time_point budgetStart;
+    std::uint32_t budgetTick = 0;
+
+    bool overBudget() const;
+    bool pollBudget();
     static std::uint64_t signatureOf(std::span<const Lit> literals);
     LBool valueOf(Lit lit) const;
     void enqueueUnit(Lit lit);

@@ -1,55 +1,17 @@
 #include "sat/solver.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
-#include <cstring>
 
 #include "common/logging.h"
 #include "sat/portfolio.h"
+#include "sat/preprocess.h"
 
 namespace fermihedral::sat {
 
 Solver::Solver(const SolverConfig &config)
-    : config(config), rng(config.seed)
+    : heap(config.varDecay), config(config), rng(config.seed)
 {
-    arena.reserve(1 << 16);
-}
-
-// --------------------------------------------------------------------
-// Clause arena
-// --------------------------------------------------------------------
-
-float
-Solver::clauseActivity(ClauseRef ref) const
-{
-    return std::bit_cast<float>(arena[ref + 1]);
-}
-
-void
-Solver::clauseActivity(ClauseRef ref, float value)
-{
-    arena[ref + 1] = std::bit_cast<std::uint32_t>(value);
-}
-
-void
-Solver::clauseShrink(ClauseRef ref, std::uint32_t new_size)
-{
-    require(new_size <= clauseSize(ref), "clauseShrink grows clause");
-    arena[ref] = (new_size << 1) | (arena[ref] & 1);
-}
-
-Solver::ClauseRef
-Solver::allocClause(std::span<const Lit> literals, bool learnt)
-{
-    const auto ref = static_cast<ClauseRef>(arena.size());
-    arena.push_back((static_cast<std::uint32_t>(literals.size()) << 1)
-                    | (learnt ? 1u : 0u));
-    arena.push_back(std::bit_cast<std::uint32_t>(0.0f));
-    arena.push_back(0);
-    for (const Lit lit : literals)
-        arena.push_back(static_cast<std::uint32_t>(lit.code));
-    return ref;
 }
 
 // --------------------------------------------------------------------
@@ -59,18 +21,21 @@ Solver::allocClause(std::span<const Lit> literals, bool learnt)
 void
 Solver::attachClause(ClauseRef ref)
 {
-    const Lit *lits = clauseLits(ref);
-    require(clauseSize(ref) >= 2, "attaching clause of size < 2");
-    watches[(~lits[0]).code].push_back(Watcher{ref, lits[1]});
-    watches[(~lits[1]).code].push_back(Watcher{ref, lits[0]});
+    const Lit *lits = arena.lits(ref);
+    const std::uint32_t size = arena.size(ref);
+    require(size >= 2, "attaching clause of size < 2");
+    auto &lists = size == 2 ? binWatches : watches;
+    lists[(~lits[0]).code].push_back(Watcher{ref, lits[1]});
+    lists[(~lits[1]).code].push_back(Watcher{ref, lits[0]});
 }
 
 void
 Solver::detachClause(ClauseRef ref)
 {
-    const Lit *lits = clauseLits(ref);
+    const Lit *lits = arena.lits(ref);
+    auto &lists = arena.size(ref) == 2 ? binWatches : watches;
     for (int w = 0; w < 2; ++w) {
-        auto &list = watches[(~lits[w]).code];
+        auto &list = lists[(~lits[w]).code];
         for (std::size_t i = 0; i < list.size(); ++i) {
             if (list[i].cref == ref) {
                 list[i] = list.back();
@@ -92,17 +57,17 @@ Solver::newVar()
     assigns.push_back(LBool::Undef);
     varLevel.push_back(0);
     varReason.push_back(crefUndef);
-    activity.push_back(0.0);
     // Saved-phase convention: polarity[v] == 1 branches negative
     // (the MiniSat default); the config may flip or randomize it.
     const bool phase = config.randomizePhases ? rng.nextBool()
                                               : config.initialPhase;
     polarity.push_back(phase ? 0 : 1);
     seen.push_back(0);
-    heapIndex.push_back(-1);
     watches.emplace_back();
     watches.emplace_back();
-    heapInsert(var);
+    binWatches.emplace_back();
+    binWatches.emplace_back();
+    heap.grow();
     return var;
 }
 
@@ -130,8 +95,7 @@ Solver::cancelUntil(std::uint32_t level)
         assigns[var] = LBool::Undef;
         polarity[var] = litSign(lit); // phase saving
         varReason[var] = crefUndef;
-        if (!heapContains(var))
-            heapInsert(var);
+        heap.insert(var);
     }
     trail.resize(keep);
     trailLim.resize(level);
@@ -142,7 +106,7 @@ Solver::cancelUntil(std::uint32_t level)
 // Propagation
 // --------------------------------------------------------------------
 
-Solver::ClauseRef
+ClauseRef
 Solver::propagate()
 {
     ClauseRef conflict = crefUndef;
@@ -151,6 +115,27 @@ Solver::propagate()
         // the clauses to inspect when p became true live at p.code.
         const Lit p = trail[qhead++];
         ++statistics.propagations;
+
+        // Binary chains first: the watcher carries the implied
+        // literal, so the whole scan runs without touching the
+        // arena. Binary watch lists never move (both literals are
+        // watched permanently), so plain iteration is safe even as
+        // the trail grows underneath.
+        for (const Watcher &w : binWatches[p.code]) {
+            const LBool val = value(w.blocker);
+            if (val == LBool::True)
+                continue;
+            if (val == LBool::False) {
+                conflict = w.cref;
+                break;
+            }
+            uncheckedEnqueue(w.blocker, w.cref);
+        }
+        if (conflict != crefUndef) {
+            qhead = trail.size();
+            break;
+        }
+
         auto &ws = watches[p.code];
         std::size_t i = 0, j = 0;
         while (i < ws.size()) {
@@ -160,8 +145,8 @@ Solver::propagate()
                 continue;
             }
             const ClauseRef cref = w.cref;
-            Lit *lits = clauseLits(cref);
-            const std::uint32_t size = clauseSize(cref);
+            Lit *lits = arena.lits(cref);
+            const std::uint32_t size = arena.size(cref);
             const Lit false_lit = ~p;
             if (lits[0] == false_lit)
                 std::swap(lits[0], lits[1]);
@@ -206,79 +191,8 @@ Solver::propagate()
 }
 
 // --------------------------------------------------------------------
-// Decision heuristic (indexed binary max-heap over activity)
+// Decision heuristic
 // --------------------------------------------------------------------
-
-void
-Solver::heapPercolateUp(std::int32_t i)
-{
-    const Var var = heap[i];
-    while (i > 0) {
-        const std::int32_t parent = (i - 1) >> 1;
-        if (!heapLess(var, heap[parent]))
-            break;
-        heap[i] = heap[parent];
-        heapIndex[heap[i]] = i;
-        i = parent;
-    }
-    heap[i] = var;
-    heapIndex[var] = i;
-}
-
-void
-Solver::heapPercolateDown(std::int32_t i)
-{
-    const Var var = heap[i];
-    const auto size = static_cast<std::int32_t>(heap.size());
-    for (;;) {
-        std::int32_t child = 2 * i + 1;
-        if (child >= size)
-            break;
-        if (child + 1 < size && heapLess(heap[child + 1], heap[child]))
-            ++child;
-        if (!heapLess(heap[child], var))
-            break;
-        heap[i] = heap[child];
-        heapIndex[heap[i]] = i;
-        i = child;
-    }
-    heap[i] = var;
-    heapIndex[var] = i;
-}
-
-void
-Solver::heapInsert(Var var)
-{
-    heap.push_back(var);
-    heapIndex[var] = static_cast<std::int32_t>(heap.size()) - 1;
-    heapPercolateUp(heapIndex[var]);
-}
-
-Var
-Solver::heapRemoveMax()
-{
-    const Var top = heap[0];
-    heap[0] = heap.back();
-    heapIndex[heap[0]] = 0;
-    heapIndex[top] = -1;
-    heap.pop_back();
-    if (!heap.empty())
-        heapPercolateDown(0);
-    return top;
-}
-
-void
-Solver::varBumpActivity(Var var)
-{
-    activity[var] += varInc;
-    if (activity[var] > 1e100) {
-        for (auto &act : activity)
-            act *= 1e-100;
-        varInc *= 1e-100;
-    }
-    if (heapContains(var))
-        heapPercolateUp(heapIndex[var]);
-}
 
 Lit
 Solver::pickBranchLit()
@@ -287,14 +201,14 @@ Solver::pickBranchLit()
     // away from pure EVSIDS order (never taken at the default
     // randomBranchFreq of 0, keeping the solo solver deterministic
     // in its call sequence alone).
-    if (config.randomBranchFreq > 0.0 && !heapEmpty() &&
+    if (config.randomBranchFreq > 0.0 && !heap.empty() &&
         rng.nextDouble() < config.randomBranchFreq) {
-        const Var var = heap[rng.nextBelow(heap.size())];
+        const Var var = heap.at(rng.nextBelow(heap.size()));
         if (assigns[var] == LBool::Undef)
             return mkLit(var, polarity[var]);
     }
-    while (!heapEmpty()) {
-        const Var var = heapRemoveMax();
+    while (!heap.empty()) {
+        const Var var = heap.pop();
         if (assigns[var] == LBool::Undef)
             return mkLit(var, polarity[var]);
     }
@@ -339,16 +253,21 @@ Solver::analyze(ClauseRef conflict, std::vector<Lit> &out_learnt,
 
     do {
         require(cref != crefUndef, "analyze reached a decision");
-        if (clauseLearnt(cref))
+        if (arena.learnt(cref))
             claBumpActivity(cref);
-        const Lit *lits = clauseLits(cref);
-        const std::uint32_t size = clauseSize(cref);
-        for (std::uint32_t k = (p == litUndef) ? 0 : 1; k < size;
-             ++k) {
+        const Lit *lits = arena.lits(cref);
+        const std::uint32_t size = arena.size(cref);
+        for (std::uint32_t k = 0; k < size; ++k) {
             const Lit q = lits[k];
             const Var v = litVar(q);
+            // Skip the literal this clause propagated. Binary
+            // watchers enqueue the blocker without normalising the
+            // stored literal order, so it is matched by variable,
+            // not by position.
+            if (p != litUndef && v == litVar(p))
+                continue;
             if (!seen[v] && varLevel[v] > 0) {
-                varBumpActivity(v);
+                heap.bump(v);
                 seen[v] = 1;
                 if (varLevel[v] >= decisionLevel())
                     ++path_count;
@@ -417,11 +336,15 @@ Solver::litRedundant(Lit lit, std::uint32_t abstract_levels)
         stack.pop_back();
         const ClauseRef cref = varReason[litVar(q)];
         require(cref != crefUndef, "litRedundant on decision");
-        const Lit *lits = clauseLits(cref);
-        const std::uint32_t size = clauseSize(cref);
-        for (std::uint32_t k = 1; k < size; ++k) {
+        const Lit *lits = arena.lits(cref);
+        const std::uint32_t size = arena.size(cref);
+        for (std::uint32_t k = 0; k < size; ++k) {
             const Lit l = lits[k];
             const Var v = litVar(l);
+            // As in analyze(): skip the propagated literal by
+            // variable (binary reasons are not position-normalised).
+            if (v == litVar(q))
+                continue;
             if (seen[v] || varLevel[v] == 0)
                 continue;
             if (varReason[v] != crefUndef &&
@@ -449,29 +372,34 @@ Solver::litRedundant(Lit lit, std::uint32_t abstract_levels)
 void
 Solver::claBumpActivity(ClauseRef ref)
 {
-    float act = clauseActivity(ref) + static_cast<float>(claInc);
+    float act = arena.activity(ref) + static_cast<float>(claInc);
     if (act > 1e20f) {
         for (const ClauseRef learnt : learntClauses)
-            clauseActivity(learnt, clauseActivity(learnt) * 1e-20f);
+            arena.activity(learnt, arena.activity(learnt) * 1e-20f);
         claInc *= 1e-20;
-        act = clauseActivity(ref) + static_cast<float>(claInc);
+        act = arena.activity(ref) + static_cast<float>(claInc);
     }
-    clauseActivity(ref, act);
+    arena.activity(ref, act);
 }
 
 bool
 Solver::clauseLocked(ClauseRef ref) const
 {
-    const Lit first = clauseLits(ref)[0];
-    return value(first) == LBool::True &&
-           varReason[litVar(first)] == ref;
+    const Lit *lits = arena.lits(ref);
+    if (value(lits[0]) == LBool::True &&
+        varReason[litVar(lits[0])] == ref)
+        return true;
+    // Binary propagation enqueues the blocker without normalising
+    // the stored order, so either literal may be the implied one.
+    return arena.size(ref) == 2 && value(lits[1]) == LBool::True &&
+           varReason[litVar(lits[1])] == ref;
 }
 
 void
 Solver::removeClause(ClauseRef ref)
 {
     detachClause(ref);
-    wastedWords += clauseSize(ref) + 3;
+    arena.free(ref);
     ++statistics.removedClauses;
 }
 
@@ -484,16 +412,16 @@ Solver::reduceDb()
     std::vector<ClauseRef> candidates;
     keep.reserve(learntClauses.size());
     for (const ClauseRef ref : learntClauses) {
-        if (clauseLbd(ref) <= 2 || clauseLocked(ref))
+        if (arena.lbd(ref) <= 2 || clauseLocked(ref))
             keep.push_back(ref);
         else
             candidates.push_back(ref);
     }
     std::sort(candidates.begin(), candidates.end(),
               [this](ClauseRef a, ClauseRef b) {
-                  if (clauseLbd(a) != clauseLbd(b))
-                      return clauseLbd(a) < clauseLbd(b);
-                  return clauseActivity(a) > clauseActivity(b);
+                  if (arena.lbd(a) != arena.lbd(b))
+                      return arena.lbd(a) < arena.lbd(b);
+                  return arena.activity(a) > arena.activity(b);
               });
     const std::size_t retain = candidates.size() / 2;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -503,14 +431,231 @@ Solver::reduceDb()
             removeClause(candidates[i]);
     }
     learntClauses = std::move(keep);
+    garbageCollectIfNeeded();
 }
 
 void
 Solver::garbageCollectIfNeeded()
 {
-    // The arena is append-only: removed clauses are detached and
-    // their words counted as waste, but not compacted. This keeps
-    // ClauseRefs stable across the incremental descent loop.
+    // Collect when a quarter of the arena is retired words. The
+    // floor keeps tiny databases from collecting on every removal.
+    if (arena.wasted() > 1024 &&
+        arena.wasted() * 4 >= arena.size()) {
+        garbageCollect();
+    }
+}
+
+void
+Solver::garbageCollect()
+{
+    ClauseArena to;
+    // Relocating through the watcher lists first preserves their
+    // traversal order exactly, so a collection changes no future
+    // propagation; clause lists and reasons then pick up the
+    // forwarded copies.
+    for (auto *lists : {&binWatches, &watches}) {
+        for (auto &list : *lists)
+            for (Watcher &w : list)
+                w.cref = arena.relocate(w.cref, to);
+    }
+    for (const Lit lit : trail) {
+        ClauseRef &reason = varReason[litVar(lit)];
+        if (reason != crefUndef)
+            reason = arena.relocate(reason, to);
+    }
+    for (ClauseRef &ref : problemClauses)
+        ref = arena.relocate(ref, to);
+    for (ClauseRef &ref : learntClauses)
+        ref = arena.relocate(ref, to);
+    ++statistics.garbageCollects;
+    statistics.reclaimedWords += arena.size() - to.size();
+    arena = std::move(to);
+    maybeCheck();
+}
+
+// --------------------------------------------------------------------
+// Inprocessing
+// --------------------------------------------------------------------
+
+void
+Solver::detachLevelZeroReasons()
+{
+    // Top-level assignments are facts: nothing ever dereferences
+    // their reasons again (conflict analysis stops at level 0), so
+    // dropping them unlocks the clauses for removal, vivification
+    // and collection.
+    require(decisionLevel() == 0,
+            "level-0 reasons can only be dropped between solves");
+    for (const Lit lit : trail)
+        varReason[litVar(lit)] = crefUndef;
+}
+
+bool
+Solver::enqueueFactAndPropagate(Lit lit)
+{
+    if (value(lit) == LBool::True)
+        return true;
+    if (value(lit) == LBool::False) {
+        ok = false;
+        return false;
+    }
+    uncheckedEnqueue(lit, crefUndef);
+    if (propagate() != crefUndef)
+        ok = false;
+    return ok;
+}
+
+bool
+Solver::subsumptionPass()
+{
+    // Re-run the PR 3 simplifier over the problem clauses with
+    // variable elimination off: subsumption and self-subsuming
+    // resolution preserve logical equivalence, so the retained
+    // learnt clauses stay sound without witness reconstruction.
+    Simplifier simplifier(numVars());
+    for (const Lit lit : trail)
+        simplifier.addClause({lit});
+    for (const ClauseRef ref : problemClauses)
+        simplifier.addClause(arena.clause(ref));
+    SimplifierOptions options;
+    options.variableElimination = false;
+    options.maxRounds = 2;
+    simplifier.run(options);
+    statistics.inprocessSubsumed +=
+        simplifier.stats().subsumedClauses;
+    statistics.inprocessStrengthened +=
+        simplifier.stats().strengthenedLiterals;
+    if (simplifier.inconsistent()) {
+        ok = false;
+        return false;
+    }
+    // Rebuild the problem database from the simplified clause list;
+    // derived units enter the trail through the normal addClause
+    // path.
+    for (const ClauseRef ref : problemClauses) {
+        detachClause(ref);
+        arena.free(ref);
+    }
+    problemClauses.clear();
+    for (const auto &clause : simplifier.simplifiedClauses()) {
+        if (!addClause(clause))
+            return false;
+    }
+    return true;
+}
+
+bool
+Solver::vivifyPass(const InprocessOptions &options)
+{
+    const std::uint64_t start = statistics.propagations;
+    std::vector<Lit> kept;
+    std::vector<Lit> original;
+    // Iterate a snapshot: shrink-to-unit removes entries from the
+    // live list. Refs stay valid (no collection inside the loop).
+    const std::vector<ClauseRef> todo = problemClauses;
+    for (const ClauseRef ref : todo) {
+        if (statistics.propagations - start >
+            options.vivifyPropagationLimit)
+            break;
+        if (arena.size(ref) < options.vivifyMinSize ||
+            clauseLocked(ref))
+            continue;
+
+        original.assign(arena.lits(ref),
+                        arena.lits(ref) + arena.size(ref));
+        detachClause(ref);
+        kept.clear();
+        // Assume the negation of each literal in turn. A literal
+        // already true closes the clause (the prefix implies it); a
+        // false one is redundant; a propagation conflict proves the
+        // kept prefix alone is implied.
+        for (const Lit lit : original) {
+            const LBool val = value(lit);
+            if (val == LBool::True) {
+                kept.push_back(lit);
+                break;
+            }
+            if (val == LBool::False)
+                continue;
+            kept.push_back(lit);
+            newDecisionLevel();
+            uncheckedEnqueue(~lit, crefUndef);
+            if (propagate() != crefUndef)
+                break;
+        }
+        cancelUntil(0);
+
+        if (kept.size() == original.size()) {
+            attachClause(ref);
+            continue;
+        }
+        ++statistics.vivifiedClauses;
+        statistics.vivifiedLiterals +=
+            original.size() - kept.size();
+        if (kept.empty()) {
+            // Every literal was false at the top level.
+            std::erase(problemClauses, ref);
+            arena.free(ref);
+            ok = false;
+            return false;
+        }
+        if (kept.size() == 1) {
+            std::erase(problemClauses, ref);
+            arena.free(ref);
+            if (!enqueueFactAndPropagate(kept[0]))
+                return false;
+            continue;
+        }
+        std::copy(kept.begin(), kept.end(), arena.lits(ref));
+        arena.shrink(ref,
+                     static_cast<std::uint32_t>(kept.size()));
+        attachClause(ref);
+    }
+    return true;
+}
+
+bool
+Solver::inprocess(const InprocessOptions &options)
+{
+    require(decisionLevel() == 0,
+            "inprocess may only run between solve() calls");
+    if (!ok)
+        return false;
+    if (propagate() != crefUndef) {
+        ok = false;
+        return false;
+    }
+    ++statistics.inprocessings;
+    detachLevelZeroReasons();
+    if (options.subsumption && !subsumptionPass()) {
+        maybeCheck();
+        return false;
+    }
+    if (options.vivification && !vivifyPass(options)) {
+        maybeCheck();
+        return false;
+    }
+    garbageCollectIfNeeded();
+    maybeCheck();
+    return ok;
+}
+
+void
+Solver::clearLearnts()
+{
+    require(decisionLevel() == 0,
+            "clearLearnts may only run between solve() calls");
+    detachLevelZeroReasons();
+    for (const ClauseRef ref : learntClauses) {
+        detachClause(ref);
+        arena.free(ref);
+    }
+    statistics.clearedLearnts += learntClauses.size();
+    statistics.removedClauses += learntClauses.size();
+    learntClauses.clear();
+    maxLearnts = 8192;
+    garbageCollectIfNeeded();
+    maybeCheck();
 }
 
 // --------------------------------------------------------------------
@@ -566,13 +711,12 @@ Solver::adoptClause(std::span<const Lit> literals,
             ok = false;
         return ok;
     }
-    const ClauseRef ref = allocClause(scratch, true);
+    const ClauseRef ref = arena.alloc(scratch, true);
     // Keep the publisher's LBD (clamped: level-0 filtering may
     // have shortened the clause) so glue clauses retain the
     // keep-forever protection reduceDb() grants them.
-    clauseLbd(ref,
-              std::min(lbd, static_cast<std::uint32_t>(
-                                scratch.size() - 1)));
+    arena.lbd(ref, std::min(lbd, static_cast<std::uint32_t>(
+                                     scratch.size() - 1)));
     learntClauses.push_back(ref);
     attachClause(ref);
     return true;
@@ -604,8 +748,6 @@ Solver::addClause(std::span<const Lit> literals)
 {
     require(decisionLevel() == 0,
             "clauses may only be added at decision level 0");
-    if (recordClauses)
-        recorded.emplace_back(literals.begin(), literals.end());
     if (!ok)
         return false;
 
@@ -641,11 +783,162 @@ Solver::addClause(std::span<const Lit> literals)
             ok = false;
         return ok;
     }
-    const ClauseRef ref = allocClause(scratch, false);
+    const ClauseRef ref = arena.alloc(scratch, false);
     problemClauses.push_back(ref);
-    ++numProblemClauses;
     attachClause(ref);
     return true;
+}
+
+// --------------------------------------------------------------------
+// Export
+// --------------------------------------------------------------------
+
+std::vector<std::vector<Lit>>
+Solver::problemClausesSnapshot() const
+{
+    std::vector<std::vector<Lit>> out;
+    if (!ok) {
+        // Inconsistent: the clause that refuted the instance was
+        // never stored (addClause rejects it), so the clause list
+        // alone would be satisfiable. Pin unsatisfiability with a
+        // contradictory unit pair — the empty clause would not
+        // survive a DIMACS round-trip.
+        const Lit pin = mkLit(0);
+        out.push_back({pin});
+        out.push_back({~pin});
+        return out;
+    }
+    // Top-level facts first (caller units and inprocessing
+    // derivations), then the stored problem clauses — and only
+    // those: learnt clauses are implied, not part of the instance.
+    const std::size_t level0 =
+        trailLim.empty() ? trail.size() : trailLim[0];
+    out.reserve(level0 + problemClauses.size());
+    for (std::size_t i = 0; i < level0; ++i)
+        out.push_back({trail[i]});
+    for (const ClauseRef ref : problemClauses) {
+        const auto clause = arena.clause(ref);
+        out.emplace_back(clause.begin(), clause.end());
+    }
+    return out;
+}
+
+std::size_t
+Solver::numBinaryClauses() const
+{
+    std::size_t count = 0;
+    for (const ClauseRef ref : problemClauses)
+        count += arena.size(ref) == 2;
+    return count;
+}
+
+// --------------------------------------------------------------------
+// Self-checks
+// --------------------------------------------------------------------
+
+bool
+Solver::selfCheckEnabled() const
+{
+#ifdef FERMIHEDRAL_SOLVER_CHECK
+    return true;
+#else
+    return config.selfCheck;
+#endif
+}
+
+void
+Solver::checkInvariants() const
+{
+    // Clause lists: valid, unrelocated refs with matching flags.
+    std::vector<ClauseRef> live;
+    for (const auto *list : {&problemClauses, &learntClauses}) {
+        const bool learnt = list == &learntClauses;
+        for (const ClauseRef ref : *list) {
+            require(arena.validRef(ref),
+                    "invalid clause ref in database");
+            require(!arena.isRelocated(ref),
+                    "relocated clause ref survived collection");
+            require(arena.learnt(ref) == learnt,
+                    "clause learnt flag disagrees with its list");
+            require(arena.size(ref) >= 2,
+                    "stored clause of size < 2");
+            live.push_back(ref);
+        }
+    }
+
+    // Watch lists: each watcher names a live clause watched on the
+    // falling literal, with the blocker drawn from the clause; the
+    // multiset of watchers is exactly every live clause twice.
+    std::vector<ClauseRef> watched;
+    for (std::size_t code = 0; code < watches.size(); ++code) {
+        const Lit falling = ~Lit{static_cast<std::int32_t>(code)};
+        for (const Watcher &w : binWatches[code]) {
+            require(arena.validRef(w.cref) &&
+                        arena.size(w.cref) == 2,
+                    "binary watcher on non-binary clause");
+            const Lit *lits = arena.lits(w.cref);
+            require((lits[0] == falling &&
+                     lits[1] == w.blocker) ||
+                        (lits[1] == falling &&
+                         lits[0] == w.blocker),
+                    "binary watcher blocker is not the other "
+                    "literal");
+            watched.push_back(w.cref);
+        }
+        for (const Watcher &w : watches[code]) {
+            require(arena.validRef(w.cref) &&
+                        arena.size(w.cref) >= 3,
+                    "long watcher on short clause");
+            const Lit *lits = arena.lits(w.cref);
+            require(lits[0] == falling || lits[1] == falling,
+                    "watched literal is not in the first two "
+                    "slots");
+            watched.push_back(w.cref);
+        }
+    }
+    std::sort(live.begin(), live.end());
+    std::sort(watched.begin(), watched.end());
+    require(watched.size() == 2 * live.size(),
+            "watcher count is not twice the live clause count");
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        require(watched[2 * i] == live[i] &&
+                    watched[2 * i + 1] == live[i],
+                "live clause not watched exactly twice");
+    }
+
+    // Trail: monotone level marks, true literals, sane reasons.
+    require(qhead <= trail.size(), "qhead past the trail");
+    for (std::size_t i = 1; i < trailLim.size(); ++i)
+        require(trailLim[i - 1] <= trailLim[i],
+                "decision level marks out of order");
+    for (const Lit lit : trail) {
+        require(value(lit) == LBool::True,
+                "trail literal is not true");
+        const ClauseRef reason = varReason[litVar(lit)];
+        if (reason == crefUndef)
+            continue;
+        require(arena.validRef(reason) &&
+                    !arena.isRelocated(reason),
+                "invalid reason ref");
+        bool contains = false;
+        for (const Lit l : arena.clause(reason))
+            contains |= litVar(l) == litVar(lit);
+        require(contains,
+                "reason clause does not mention its variable");
+    }
+
+    // Heap: ordering/index integrity, and completeness — every
+    // unassigned variable must be reachable by pickBranchLit().
+    require(heap.brokenSlot() == -1,
+            "variable heap order or index broken at slot ",
+            heap.brokenSlot());
+    for (std::size_t var = 0; var < assigns.size(); ++var) {
+        if (assigns[var] == LBool::Undef) {
+            require(heap.contains(static_cast<Var>(var)),
+                    "unassigned variable ", var,
+                    " missing from the decision heap");
+        }
+    }
 }
 
 // --------------------------------------------------------------------
@@ -738,14 +1031,15 @@ Solver::search(const Budget &budget, double start_time)
             if (learntClause.size() == 1) {
                 uncheckedEnqueue(learntClause[0], crefUndef);
             } else {
-                const ClauseRef ref = allocClause(learntClause, true);
-                clauseLbd(ref, lbd);
+                const ClauseRef ref =
+                    arena.alloc(learntClause, true);
+                arena.lbd(ref, lbd);
                 learntClauses.push_back(ref);
                 attachClause(ref);
                 claBumpActivity(ref);
                 uncheckedEnqueue(learntClause[0], ref);
             }
-            varDecayActivity();
+            heap.decay();
             claDecayActivity();
             if ((statistics.conflicts & 0x3ff) == 0 &&
                 budgetExpired(budget, start_time, start_conflicts)) {
@@ -821,10 +1115,12 @@ Solver::solve(std::span<const Lit> assumptions, const Budget &budget)
         assumptionList.clear();
         return SolveStatus::Unsat;
     }
+    maybeCheck();
     const double start_time = now();
     const SolveStatus status = search(budget, start_time);
     cancelUntil(0);
     assumptionList.clear();
+    maybeCheck();
     return status;
 }
 
@@ -849,9 +1145,7 @@ Solver::boostActivity(Var var, double amount)
 {
     require(static_cast<std::size_t>(var) < numVars(),
             "boostActivity on unknown variable");
-    activity[var] += amount;
-    if (heapContains(var))
-        heapPercolateUp(heapIndex[var]);
+    heap.boost(var, amount);
 }
 
 } // namespace fermihedral::sat

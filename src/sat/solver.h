@@ -6,15 +6,29 @@
  * Fermihedral artifact. The implementation follows the classic
  * MiniSat architecture with the standard modern refinements:
  *
- *  - two-watched-literal propagation with blocker literals,
+ *  - clause storage in a bump-allocated arena (sat/clause_arena.h):
+ *    32-bit clause refs, metadata inlined ahead of the literals,
+ *    in-place shrinking, and copying garbage collection when the
+ *    learnt-database reduction has retired enough words,
+ *  - two-watched-literal propagation with blocker literals, and
+ *    dedicated binary watch lists whose watchers carry the implied
+ *    literal inline so binary chains never touch the arena,
  *  - first-UIP conflict analysis with clause minimization,
- *  - EVSIDS decision heuristic with phase saving,
+ *  - EVSIDS decision heuristic on an indexed binary heap with lazy
+ *    activity rescaling (sat/var_heap.h), plus phase saving,
  *  - Luby-sequence (or geometric) restarts,
  *  - LBD ("glue") guided learnt-clause database reduction,
  *  - incremental solving: clauses may be added between solve()
  *    calls and assumptions are supported, which Algorithm 1's
  *    descent loop uses to tighten the Pauli-weight bound by
- *    asserting a single totalizer output literal per step,
+ *    asserting a single totalizer output literal per step; learnt
+ *    clauses, phases and activities carry over across those calls
+ *    (clearLearnts() resets the carried clauses when a caller
+ *    wants restart-from-scratch behaviour),
+ *  - inprocessing between solves: subsumption / self-subsuming
+ *    resolution of the problem clauses through the sat/preprocess
+ *    Simplifier (variable elimination stays off so retained learnt
+ *    clauses remain sound) and bounded clause vivification,
  *  - conflict/time budgets so descent steps can time out the same
  *    way the paper's setup bounds each SAT call,
  *  - configurable diversification (decision seed, phase policy,
@@ -31,24 +45,34 @@
  *  - Clauses and variables may be added between solve() calls;
  *    learnt clauses, saved phases and activities persist, which is
  *    what makes the descent loop's incremental tightening cheap.
- *  - The clause arena may be garbage-collected at any solve()
- *    boundary: ClauseRef values are internal and never escape.
+ *  - The clause arena may be garbage-collected whenever the solver
+ *    is between propagations: ClauseRef values are internal and
+ *    never escape. snapshotCnf (sat/dimacs.h) therefore reads the
+ *    live problem clauses, never refs.
+ *  - inprocess()/clearLearnts() preserve equivalence over all
+ *    variables (no elimination): any model of the formula before
+ *    the call is a model after it and vice versa.
  *  - A default-constructed config makes the solver a deterministic
- *    function of its clause/solve call sequence; any two Solvers
- *    fed the same calls return the same answers and models.
+ *    function of its clause/solve/inprocess call sequence; any two
+ *    Solvers fed the same calls return the same answers and models.
+ *  - Compiling with -DFERMIHEDRAL_SOLVER_CHECK (or setting
+ *    SolverConfig::selfCheck) runs checkInvariants() at solve,
+ *    reduction, collection and inprocessing boundaries; the check
+ *    itself is always available and fatal on violation.
  */
 
 #ifndef FERMIHEDRAL_SAT_SOLVER_H
 #define FERMIHEDRAL_SAT_SOLVER_H
 
 #include <cstdint>
-#include <limits>
 #include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "sat/clause_arena.h"
 #include "sat/solver_base.h"
 #include "sat/types.h"
+#include "sat/var_heap.h"
 
 namespace fermihedral::sat {
 
@@ -85,6 +109,34 @@ struct SolverConfig
 
     /** EVSIDS activity decay factor. */
     double varDecay = 0.95;
+
+    /**
+     * Run the solver invariant self-checks (watch consistency,
+     * arena ref validity, heap order) at search boundaries. Always
+     * on when the library is compiled with
+     * -DFERMIHEDRAL_SOLVER_CHECK.
+     */
+    bool selfCheck = false;
+};
+
+/** Effort limits for one Solver::inprocess() call. */
+struct InprocessOptions
+{
+    /**
+     * Subsume / strengthen the problem clauses with the
+     * sat/preprocess Simplifier (variable elimination off: learnt
+     * clauses stay sound without witness reconstruction).
+     */
+    bool subsumption = true;
+
+    /** Shorten clauses by unit-propagation vivification. */
+    bool vivification = true;
+
+    /** Propagation budget for one vivification pass. */
+    std::uint64_t vivifyPropagationLimit = 500000;
+
+    /** Skip vivifying clauses shorter than this. */
+    std::uint32_t vivifyMinSize = 3;
 };
 
 /**
@@ -108,7 +160,7 @@ class Solver final : public SolverBase
     /** Number of problem (non-learnt) clauses added and retained. */
     std::size_t numClauses() const override
     {
-        return numProblemClauses;
+        return problemClauses.size();
     }
 
     using SolverBase::addClause;
@@ -146,6 +198,23 @@ class Solver final : public SolverBase
     void boostActivity(Var var, double amount) override;
 
     /**
+     * Inprocess the clause database between solve() calls:
+     * top-level simplification, subsumption / self-subsuming
+     * resolution of the problem clauses, bounded vivification, and
+     * a garbage collection when enough waste accumulated. Returns
+     * false when simplification refuted the formula.
+     */
+    bool inprocess(const InprocessOptions &options = {});
+
+    /**
+     * Drop every learnt clause (the carried state of the
+     * incremental descent). The next solve() re-derives what it
+     * needs — used to measure what carry-over buys, and by callers
+     * that want restart-from-scratch semantics.
+     */
+    void clearLearnts();
+
+    /**
      * Join a learnt-clause exchange: short low-LBD learnt clauses
      * are published under `instance_id` and clauses published by
      * other instances are imported at restart boundaries. The
@@ -156,66 +225,44 @@ class Solver final : public SolverBase
                          std::size_t instance_id);
 
     /**
-     * Record every clause passed to addClause (verbatim, before
-     * simplification) for DIMACS export. Must be enabled before the
-     * first clause is added to capture the whole instance.
+     * The current problem clauses (simplified, possibly shrunk by
+     * inprocessing — never learnt clauses) plus one unit per
+     * top-level fixed variable. This is the DIMACS export surface:
+     * equivalent to the conjunction of every added clause, and
+     * stable across garbage collection. An inconsistent solver
+     * snapshots as a contradictory unit pair, since the refuting
+     * clause itself was never stored.
      */
-    void enableRecording() { recordClauses = true; }
-
-    /** The recorded clause stream (empty unless enabled). */
-    const std::vector<std::vector<Lit>> &
-    recordedClauses() const
-    {
-        return recorded;
-    }
+    std::vector<std::vector<Lit>> problemClausesSnapshot() const;
 
     /** True once the clause set is known unsatisfiable at level 0. */
     bool inconsistent() const override { return !ok; }
 
     const SolverStats &stats() const override { return statistics; }
 
-  private:
-    // --- Clause storage -------------------------------------------------
-    /** Offset of a clause in the arena. */
-    using ClauseRef = std::uint32_t;
-    static constexpr ClauseRef crefUndef =
-        std::numeric_limits<ClauseRef>::max();
+    /** Arena footprint in 32-bit words (live + waste). */
+    std::size_t arenaWords() const { return arena.size(); }
+
+    /** Arena words retired but not yet collected. */
+    std::size_t arenaWasted() const { return arena.wasted(); }
+
+    /** Problem clauses stored in the binary watch lists. */
+    std::size_t numBinaryClauses() const;
 
     /**
-     * Arena layout per clause:
-     *   word 0: size << 1 | learnt
-     *   word 1: activity (float bits) for learnt, 0 otherwise
-     *   word 2: lbd for learnt, 0 otherwise
-     *   word 3..: literal codes
+     * Verify the solver's internal invariants: every stored
+     * ClauseRef valid and unrelocated, watch lists consistent with
+     * the first two literals of every clause (binary watchers
+     * carrying the implied literal), heap order and index mapping
+     * intact, trail well-formed. Fatal (FatalError) on violation.
+     * Runs automatically at search boundaries when selfCheck is
+     * set or the library is built with FERMIHEDRAL_SOLVER_CHECK.
      */
-    std::vector<std::uint32_t> arena;
+    void checkInvariants() const;
 
-    std::uint32_t clauseSize(ClauseRef ref) const
-    {
-        return arena[ref] >> 1;
-    }
-    bool clauseLearnt(ClauseRef ref) const { return arena[ref] & 1; }
-    Lit *clauseLits(ClauseRef ref)
-    {
-        return reinterpret_cast<Lit *>(&arena[ref + 3]);
-    }
-    const Lit *clauseLits(ClauseRef ref) const
-    {
-        return reinterpret_cast<const Lit *>(&arena[ref + 3]);
-    }
-    float clauseActivity(ClauseRef ref) const;
-    void clauseActivity(ClauseRef ref, float value);
-    std::uint32_t clauseLbd(ClauseRef ref) const
-    {
-        return arena[ref + 2];
-    }
-    void clauseLbd(ClauseRef ref, std::uint32_t lbd)
-    {
-        arena[ref + 2] = lbd;
-    }
-    void clauseShrink(ClauseRef ref, std::uint32_t new_size);
-
-    ClauseRef allocClause(std::span<const Lit> literals, bool learnt);
+  private:
+    // --- Clause storage -------------------------------------------------
+    ClauseArena arena;
 
     // --- Watches --------------------------------------------------------
     struct Watcher
@@ -223,8 +270,13 @@ class Solver final : public SolverBase
         ClauseRef cref;
         Lit blocker;
     };
-    /** watches[lit.code]: clauses to inspect when lit becomes false. */
+    /** watches[lit.code]: long clauses to inspect when lit falls. */
     std::vector<std::vector<Watcher>> watches;
+    /**
+     * binWatches[lit.code]: binary clauses; the blocker IS the
+     * other literal, so propagation never dereferences the arena.
+     */
+    std::vector<std::vector<Watcher>> binWatches;
 
     void attachClause(ClauseRef ref);
     void detachClause(ClauseRef ref);
@@ -257,30 +309,10 @@ class Solver final : public SolverBase
     }
 
     // --- Decision heuristic ----------------------------------------------
-    std::vector<double> activity;
-    double varInc = 1.0;
+    VarHeap heap;
     std::vector<char> polarity;
     std::vector<char> seen;
 
-    /** Indexed max-heap over variable activity. */
-    std::vector<Var> heap;
-    std::vector<std::int32_t> heapIndex;
-    bool heapLess(Var a, Var b) const
-    {
-        return activity[a] > activity[b];
-    }
-    void heapPercolateUp(std::int32_t i);
-    void heapPercolateDown(std::int32_t i);
-    void heapInsert(Var var);
-    Var heapRemoveMax();
-    bool heapEmpty() const { return heap.empty(); }
-    bool heapContains(Var var) const
-    {
-        return heapIndex[var] >= 0;
-    }
-
-    void varBumpActivity(Var var);
-    void varDecayActivity() { varInc /= config.varDecay; }
     Lit pickBranchLit();
 
     // --- Conflict analysis -----------------------------------------------
@@ -294,18 +326,30 @@ class Solver final : public SolverBase
     // --- Clause database management ---------------------------------------
     std::vector<ClauseRef> problemClauses;
     std::vector<ClauseRef> learntClauses;
-    std::size_t numProblemClauses = 0;
     double claInc = 1.0;
     static constexpr double claDecay = 0.999;
     std::uint64_t maxLearnts = 8192;
-    std::uint64_t wastedWords = 0;
 
     void claBumpActivity(ClauseRef ref);
     void claDecayActivity() { claInc /= claDecay; }
     void reduceDb();
     bool clauseLocked(ClauseRef ref) const;
     void removeClause(ClauseRef ref);
+
+    /**
+     * Copying collection: live clauses move to a fresh arena in
+     * watcher order, every stored ref is forwarded. Runs when the
+     * retired words cross a quarter of the arena.
+     */
     void garbageCollectIfNeeded();
+    void garbageCollect();
+
+    // --- Inprocessing ------------------------------------------------------
+    /** Drop level-0 reasons (facts need none; frees their clauses). */
+    void detachLevelZeroReasons();
+    bool subsumptionPass();
+    bool vivifyPass(const InprocessOptions &options);
+    bool enqueueFactAndPropagate(Lit lit);
 
     // --- Clause exchange ---------------------------------------------------
     ClauseExchange *exchange = nullptr;
@@ -322,8 +366,6 @@ class Solver final : public SolverBase
     SolverConfig config;
     Rng rng;
     bool ok = true;
-    bool recordClauses = false;
-    std::vector<std::vector<Lit>> recorded;
     std::vector<Lit> assumptionList;
     std::vector<LBool> model;
     SolverStats statistics;
@@ -335,6 +377,13 @@ class Solver final : public SolverBase
 
     bool budgetExpired(const Budget &budget, double start_time,
                        std::uint64_t start_conflicts) const;
+
+    bool selfCheckEnabled() const;
+    void maybeCheck() const
+    {
+        if (selfCheckEnabled())
+            checkInvariants();
+    }
 };
 
 } // namespace fermihedral::sat

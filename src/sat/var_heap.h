@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Indexed binary heap over EVSIDS variable activities.
+ *
+ * The decision queue of the CDCL solver: variables are ordered by a
+ * bump-and-decay activity score, the heap yields the most active
+ * unassigned variable in O(log n), and an index array makes
+ * membership tests and re-heapification after a bump O(1)/O(log n).
+ * Decay is implemented lazily as a growing increment (EVSIDS): the
+ * scores of untouched variables never move, and when the increment
+ * overflows 1e100 every score is rescaled once.
+ *
+ * Key invariants:
+ *  - position[v] >= 0 iff v is in the heap, and then
+ *    order[position[v]] == v; every parent's activity is >= both
+ *    children's (ties break on insertion order, making the queue a
+ *    deterministic function of the bump/insert sequence).
+ *  - bump() and boost() preserve the heap property for the bumped
+ *    variable's new score; decay() touches no stored score.
+ *  - Rescaling multiplies every activity and the increment by the
+ *    same factor, so the relative order is bit-exact afterwards
+ *    (all values are powers-of-two scalings away from the unscaled
+ *    trajectory).
+ */
+
+#ifndef FERMIHEDRAL_SAT_VAR_HEAP_H
+#define FERMIHEDRAL_SAT_VAR_HEAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace fermihedral::sat {
+
+/** The EVSIDS decision queue (see file comment). */
+class VarHeap
+{
+  public:
+    explicit VarHeap(double decay = 0.95) : decayFactor(decay) {}
+
+    /** Register a fresh variable (activity 0, in the queue). */
+    void grow()
+    {
+        const Var var = static_cast<Var>(scores.size());
+        scores.push_back(0.0);
+        position.push_back(-1);
+        insert(var);
+    }
+
+    std::size_t numVars() const { return scores.size(); }
+    bool empty() const { return order.empty(); }
+    std::size_t size() const { return order.size(); }
+
+    bool contains(Var var) const { return position[var] >= 0; }
+
+    double activity(Var var) const { return scores[var]; }
+
+    /** The queued variable at heap slot `i` (for random picks). */
+    Var at(std::size_t i) const { return order[i]; }
+
+    /** Re-queue a variable that was popped (on backtracking). */
+    void insert(Var var)
+    {
+        if (contains(var))
+            return;
+        order.push_back(var);
+        position[var] = static_cast<std::int32_t>(order.size()) - 1;
+        percolateUp(position[var]);
+    }
+
+    /** Remove and return the most active queued variable. */
+    Var pop()
+    {
+        const Var top = order.front();
+        order.front() = order.back();
+        position[order.front()] = 0;
+        position[top] = -1;
+        order.pop_back();
+        if (!order.empty())
+            percolateDown(0);
+        return top;
+    }
+
+    /** EVSIDS bump: add the current increment, rescale lazily. */
+    void bump(Var var)
+    {
+        scores[var] += increment;
+        if (scores[var] > 1e100)
+            rescale();
+        if (contains(var))
+            percolateUp(position[var]);
+    }
+
+    /** External priority boost by an absolute amount. */
+    void boost(Var var, double amount)
+    {
+        scores[var] += amount;
+        if (scores[var] > 1e100)
+            rescale();
+        if (contains(var))
+            percolateUp(position[var]);
+    }
+
+    /** Lazy decay: future bumps weigh 1/decay more. */
+    void decay() { increment /= decayFactor; }
+
+    /**
+     * Verify the heap property and the index mapping; returns the
+     * first broken slot or -1 when consistent. The solver's
+     * FERMIHEDRAL_SOLVER_CHECK self-checks call this.
+     */
+    std::int32_t brokenSlot() const
+    {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const Var var = order[i];
+            if (position[var] != static_cast<std::int32_t>(i))
+                return static_cast<std::int32_t>(i);
+            if (i > 0 &&
+                scores[order[(i - 1) / 2]] < scores[var])
+                return static_cast<std::int32_t>(i);
+        }
+        for (std::size_t v = 0; v < position.size(); ++v) {
+            const std::int32_t pos = position[v];
+            if (pos >= 0 &&
+                (static_cast<std::size_t>(pos) >= order.size() ||
+                 order[static_cast<std::size_t>(pos)] !=
+                     static_cast<Var>(v)))
+                return pos;
+        }
+        return -1;
+    }
+
+  private:
+    void percolateUp(std::int32_t i)
+    {
+        const Var var = order[i];
+        while (i > 0) {
+            const std::int32_t parent = (i - 1) >> 1;
+            if (scores[var] <= scores[order[parent]])
+                break;
+            order[i] = order[parent];
+            position[order[i]] = i;
+            i = parent;
+        }
+        order[i] = var;
+        position[var] = i;
+    }
+
+    void percolateDown(std::int32_t i)
+    {
+        const Var var = order[i];
+        const auto n = static_cast<std::int32_t>(order.size());
+        for (;;) {
+            std::int32_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                scores[order[child + 1]] > scores[order[child]])
+                ++child;
+            if (scores[order[child]] <= scores[var])
+                break;
+            order[i] = order[child];
+            position[order[i]] = i;
+            i = child;
+        }
+        order[i] = var;
+        position[var] = i;
+    }
+
+    void rescale()
+    {
+        for (double &score : scores)
+            score *= 1e-100;
+        increment *= 1e-100;
+    }
+
+    double decayFactor;
+    double increment = 1.0;
+    std::vector<double> scores;
+    std::vector<Var> order;
+    std::vector<std::int32_t> position;
+};
+
+} // namespace fermihedral::sat
+
+#endif // FERMIHEDRAL_SAT_VAR_HEAP_H

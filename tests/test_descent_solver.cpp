@@ -179,6 +179,37 @@ TEST(DescentSolver, RacingPortfolioFindsSameOptimum)
     EXPECT_TRUE(enc::validateEncoding(racing.encoding).valid());
 }
 
+TEST(DescentSolver, CarryOverKeepsCostAndSavesConflicts)
+{
+    // The learnt-clause carry-over across the descent's tightening
+    // totalizer bounds is a pure engine optimisation: the N=4
+    // workload must descend to bit-identical costs with it on or
+    // off, and keeping the clauses must save conflicts overall
+    // (every step resumes from the previous step's inferences
+    // instead of re-deriving them).
+    DescentOptions carry = fastOptions();
+    carry.stepTimeoutSeconds = 120.0;
+    carry.totalTimeoutSeconds = 600.0;
+    DescentOptions fresh = carry;
+    carry.carryLearnts = true;
+    fresh.carryLearnts = false;
+
+    const auto kept = DescentSolver(4, carry).solve();
+    const auto cleared = DescentSolver(4, fresh).solve();
+
+    EXPECT_EQ(kept.cost, cleared.cost);
+    EXPECT_EQ(kept.baselineCost, cleared.baselineCost);
+    EXPECT_EQ(kept.provedOptimal, cleared.provedOptimal);
+    EXPECT_TRUE(enc::validateEncoding(kept.encoding).valid());
+
+    // The off-run must actually have dropped learnt clauses, and
+    // the on-run must win the conflict count.
+    EXPECT_GT(cleared.satStats.aggregate.clearedLearnts, 0u);
+    EXPECT_EQ(kept.satStats.aggregate.clearedLearnts, 0u);
+    EXPECT_LT(kept.satStats.aggregate.conflicts,
+              cleared.satStats.aggregate.conflicts);
+}
+
 TEST(DescentSolver, EnumerateOptimalBeforeSolveIsFatal)
 {
     // The documented precondition (solve() first) must be a fatal

@@ -127,10 +127,9 @@ TEST(Dimacs, LoadIntoSolverSolves)
     EXPECT_EQ(solver.modelValue(sat::Var{2}), sat::LBool::True);
 }
 
-TEST(Dimacs, RecordingCapturesEncodingModel)
+TEST(Dimacs, SnapshotCapturesEncodingModel)
 {
     sat::Solver solver;
-    solver.enableRecording();
     core::EncodingModelOptions options;
     options.modes = 2;
     options.costCap = 8;
@@ -143,6 +142,55 @@ TEST(Dimacs, RecordingCapturesEncodingModel)
     sat::Solver replay;
     ASSERT_TRUE(cnf.loadInto(replay));
     EXPECT_EQ(replay.solve(), sat::SolveStatus::Sat);
+}
+
+TEST(Dimacs, SnapshotEmitsOnlyProblemClauses)
+{
+    // After a solve the database also holds learnt clauses; the
+    // export must not include them (a learnt clause surviving an
+    // arena collection has no well-defined place in the original
+    // instance). Solving may fix variables at level 0 — those show
+    // up as extra unit facts — but every non-unit clause of the
+    // snapshot must still be an original problem clause.
+    sat::Solver solver;
+    core::EncodingModelOptions options;
+    options.modes = 2;
+    options.costCap = 8;
+    core::EncodingModel model(solver, options);
+    const Cnf before = sat::snapshotCnf(solver);
+
+    ASSERT_EQ(solver.solve(), sat::SolveStatus::Sat);
+    const Cnf after = sat::snapshotCnf(solver);
+
+    // Propagation reorders the first two literals of a clause in
+    // place (watched-literal swapping), so compare clauses as sets.
+    auto nonUnits = [](const Cnf &cnf) {
+        std::vector<std::vector<sat::Lit>> out;
+        for (const auto &clause : cnf.clauses) {
+            if (clause.size() > 1) {
+                out.push_back(clause);
+                std::sort(out.back().begin(), out.back().end());
+            }
+        }
+        return out;
+    };
+    EXPECT_EQ(nonUnits(after), nonUnits(before));
+
+    // clearLearnts() drops only learnt clauses: the export surface
+    // is bit-identical before and after.
+    solver.clearLearnts();
+    const Cnf cleared = sat::snapshotCnf(solver);
+    ASSERT_EQ(cleared.clauses.size(), after.clauses.size());
+    for (std::size_t i = 0; i < after.clauses.size(); ++i)
+        EXPECT_EQ(cleared.clauses[i], after.clauses[i])
+            << "clause " << i;
+
+    // And the snapshot round-trips through DIMACS text.
+    const Cnf parsed = sat::parseDimacs(sat::toDimacs(after));
+    ASSERT_EQ(parsed.clauses.size(), after.clauses.size());
+    for (std::size_t i = 0; i < after.clauses.size(); ++i)
+        EXPECT_EQ(parsed.clauses[i], after.clauses[i])
+            << "clause " << i;
 }
 
 TEST(Qasm, ContainsHeaderAndGates)
