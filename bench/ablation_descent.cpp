@@ -24,8 +24,10 @@ main(int argc, char **argv)
     const auto *timeout =
         flags.addDouble("timeout", 20.0, "budget per run (s)");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("descent ablations", "DESIGN.md");
     Table table({"Modes", "Warm start", "Vacuum", "Cost",
@@ -60,5 +62,6 @@ main(int argc, char **argv)
     std::printf("Expected: warm start shortens time-to-best; "
                 "removing the (optional) vacuum constraint never "
                 "raises the optimal cost.\n");
+    tflags.report();
     return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "api/compiler.h"
 #include "common/flags.h"
+#include "common/telemetry_flags.h"
 #include "core/annealing.h"
 #include "core/descent_solver.h"
 #include "encodings/linear.h"
@@ -117,6 +118,39 @@ enum class Config
     NoAlg,    // algebraic independence dropped (Sec. 4.1)
 };
 
+/**
+ * The --progress observer: one stderr line per descent bound.
+ * Diagnostics stay off stdout, which the benches reserve for the
+ * tables and series they print.
+ */
+inline std::function<void(const core::DescentProgress &)>
+progressPrinter()
+{
+    return [](const core::DescentProgress &p) {
+        const char *status =
+            p.status == sat::SolveStatus::Sat
+                ? "sat"
+                : p.status == sat::SolveStatus::Unsat ? "unsat"
+                                                      : "unknown";
+        std::fprintf(stderr,
+                     "progress: bound=%zu best=%zu calls=%zu "
+                     "conflicts=%llu t=%.2fs %s\n",
+                     p.bound, p.bestCost, p.satCalls,
+                     static_cast<unsigned long long>(p.conflicts),
+                     p.elapsedSeconds, status);
+    };
+}
+
+/** Attach the --progress observer when the flag asked for one. */
+template <typename OptionsOrRequest>
+inline void
+applyProgressFlag(OptionsOrRequest &target)
+{
+    const auto *flags = telemetry::TelemetryFlags::active();
+    if (flags && flags->progressRequested())
+        target.progress = progressPrinter();
+}
+
 /** Descent options for one of the paper's configurations. */
 inline core::DescentOptions
 descentOptions(Config config, double step_timeout,
@@ -129,6 +163,7 @@ descentOptions(Config config, double step_timeout,
     options.totalTimeoutSeconds = total_timeout;
     if (const EngineFlags *engine = EngineFlags::active())
         engine->apply(options);
+    applyProgressFlag(options);
     return options;
 }
 
@@ -152,6 +187,7 @@ compilationRequest(Config config, double step_timeout,
     request.totalTimeoutSeconds = total_timeout;
     if (const EngineFlags *engine = EngineFlags::active())
         engine->apply(request);
+    applyProgressFlag(request);
     return request;
 }
 

@@ -96,8 +96,10 @@ main(int argc, char **argv)
     const auto *timeout =
         flags.addDouble("timeout", 30.0, "SAT budget per mode (s)");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("A_k dependence-event probabilities", "Figure 4");
     const std::size_t max_n = 5;
@@ -137,5 +139,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("expected flat lines at 1/4^n: 0.25, 0.0625, "
                 "0.0156, 0.0039, 0.0010\n");
+    tflags.report();
     return 0;
 }

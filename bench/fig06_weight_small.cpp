@@ -26,8 +26,10 @@ main(int argc, char **argv)
     const auto *timeout =
         flags.addDouble("timeout", 60.0, "budget per mode count (s)");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("per-operator Pauli weight, small scale",
                   "Figure 6");
@@ -67,5 +69,6 @@ main(int argc, char **argv)
     std::printf("regression  SAT: %.2f log2(N) + %.2f   (paper: "
                 "0.56 log2(N) + 0.95)\n",
                 sat_fit.a, sat_fit.b);
+    tflags.report();
     return 0;
 }

@@ -30,8 +30,10 @@ main(int argc, char **argv)
     const auto *timeout =
         flags.addDouble("timeout", 45.0, "budget per mode count (s)");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("per-operator Pauli weight, larger scale",
                   "Figure 7");
@@ -61,5 +63,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("Paper reports a 17.36%% mean reduction over "
                 "N = 9..19 (larger budgets improve the match).\n");
+    tflags.report();
     return 0;
 }

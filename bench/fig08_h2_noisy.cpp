@@ -37,8 +37,10 @@ main(int argc, char **argv)
     const auto *threads_flag =
         flags.addInt("threads", 0, "shot-runner threads (0 = "
                                    "hardware concurrency)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
     ThreadPool pool(
         ThreadPool::resolveThreadCount(*threads_flag));
 
@@ -121,5 +123,6 @@ main(int argc, char **argv)
                 pool.threadCount());
     std::printf("Full SAT should show the least drift from the "
                 "exact eigenvalue and the smallest sigma.\n");
+    tflags.report();
     return 0;
 }

@@ -34,8 +34,10 @@ main(int argc, char **argv)
     const auto *threads_flag =
         flags.addInt("threads", 0, "shot-runner threads (0 = "
                                    "hardware concurrency)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
     ThreadPool pool(
         ThreadPool::resolveThreadCount(*threads_flag));
 
@@ -84,5 +86,6 @@ main(int argc, char **argv)
     std::printf("Paper measured E = -1.49 (JW), -1.54 (BK), -1.56 "
                 "(Full SAT) on the real device; the ordering and "
                 "sigma ranking are the reproduced shape.\n");
+    tflags.report();
     return 0;
 }

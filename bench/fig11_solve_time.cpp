@@ -23,6 +23,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/parallel.h"
 #include "common/table.h"
 
@@ -91,54 +92,44 @@ appendRunJson(std::string &json, const char *label,
 {
     const auto &r = m.result;
     const auto &s = r.satStats;
+    JsonWriter w;
+    w.beginObject()
+        .member("label", label)
+        .member("modes", modes)
+        .member("cost", r.cost)
+        .member("baseline_cost", r.baselineCost)
+        .member("proved_optimal", r.provedOptimal)
+        .member("sat_calls", r.satCalls)
+        .member("construct_s", m.construct)
+        .member("time_to_best_s", m.solve)
+        .member("solve_s", m.totalSolve)
+        .member("vars", r.numVars)
+        .member("clauses", r.numClauses)
+        .member("propagations", s.aggregate.propagations)
+        .member("conflicts", s.aggregate.conflicts)
+        .member("learnt_literals", s.aggregate.learntLiterals)
+        .member("shared_out", s.aggregate.sharedOut)
+        .member("eliminated_vars",
+                s.simplifier.eliminatedVariables)
+        .member("subsumed", s.simplifier.subsumedClauses)
+        .member("strengthened", s.simplifier.strengthenedLiterals)
+        .member("simplified_clauses",
+                s.simplifier.simplifiedClauses)
+        .member("simplify_s", s.simplifier.seconds)
+        .member("gc_runs", s.aggregate.garbageCollects)
+        .member("reclaimed_words", s.aggregate.reclaimedWords)
+        .member("inprocessings", s.aggregate.inprocessings)
+        .member("inprocess_subsumed",
+                s.aggregate.inprocessSubsumed)
+        .member("vivified_clauses", s.aggregate.vivifiedClauses)
+        .member("vivified_literals", s.aggregate.vivifiedLiterals)
+        .member("cleared_learnts", s.aggregate.clearedLearnts)
+        .member("last_winner", s.lastWinner)
+        .endObject();
     if (json.back() != '[')
         json += ',';
-    json += "\n  {\"label\":\"";
-    json += label;
-    json += "\",\"modes\":" + std::to_string(modes);
-    json += ",\"cost\":" + std::to_string(r.cost);
-    json += ",\"baseline_cost\":" + std::to_string(r.baselineCost);
-    json += ",\"proved_optimal\":";
-    json += r.provedOptimal ? "true" : "false";
-    json += ",\"sat_calls\":" + std::to_string(r.satCalls);
-    json += ",\"construct_s\":" + Table::num(m.construct, 6);
-    json += ",\"time_to_best_s\":" + Table::num(m.solve, 6);
-    json += ",\"solve_s\":" + Table::num(m.totalSolve, 6);
-    json += ",\"vars\":" + std::to_string(r.numVars);
-    json += ",\"clauses\":" + std::to_string(r.numClauses);
-    json += ",\"propagations\":" +
-            std::to_string(s.aggregate.propagations);
-    json += ",\"conflicts\":" +
-            std::to_string(s.aggregate.conflicts);
-    json += ",\"learnt_literals\":" +
-            std::to_string(s.aggregate.learntLiterals);
-    json += ",\"shared_out\":" +
-            std::to_string(s.aggregate.sharedOut);
-    json += ",\"eliminated_vars\":" +
-            std::to_string(s.simplifier.eliminatedVariables);
-    json += ",\"subsumed\":" +
-            std::to_string(s.simplifier.subsumedClauses);
-    json += ",\"strengthened\":" +
-            std::to_string(s.simplifier.strengthenedLiterals);
-    json += ",\"simplified_clauses\":" +
-            std::to_string(s.simplifier.simplifiedClauses);
-    json += ",\"simplify_s\":" + Table::num(s.simplifier.seconds, 6);
-    json += ",\"gc_runs\":" +
-            std::to_string(s.aggregate.garbageCollects);
-    json += ",\"reclaimed_words\":" +
-            std::to_string(s.aggregate.reclaimedWords);
-    json += ",\"inprocessings\":" +
-            std::to_string(s.aggregate.inprocessings);
-    json += ",\"inprocess_subsumed\":" +
-            std::to_string(s.aggregate.inprocessSubsumed);
-    json += ",\"vivified_clauses\":" +
-            std::to_string(s.aggregate.vivifiedClauses);
-    json += ",\"vivified_literals\":" +
-            std::to_string(s.aggregate.vivifiedLiterals);
-    json += ",\"cleared_learnts\":" +
-            std::to_string(s.aggregate.clearedLearnts);
-    json += ",\"last_winner\":" + std::to_string(s.lastWinner);
-    json += "}";
+    json += "\n  ";
+    json += w.take();
 }
 
 } // namespace
@@ -165,8 +156,10 @@ main(int argc, char **argv)
         "decides sub-10ms races; single runs are noise-bound)");
     const auto *json_path = flags.addString(
         "json", "", "write run statistics to this JSON file");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     std::string json = "[";
 
@@ -346,11 +339,13 @@ main(int argc, char **argv)
         if (!f) {
             std::fprintf(stderr, "cannot write %s\n",
                          json_path->c_str());
+            tflags.report();
             return 1;
         }
         std::fputs(json.c_str(), f);
         std::fclose(f);
         std::fprintf(stderr, "wrote %s\n", json_path->c_str());
     }
+    tflags.report();
     return 0;
 }

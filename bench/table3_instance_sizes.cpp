@@ -89,8 +89,10 @@ main(int argc, char **argv)
     const auto *max_simplify = flags.addInt(
         "max-simplify", 10,
         "largest N to run the simplifier on (0 disables)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("SAT instance sizes", "Table 3");
     Table table({"Modes", "#Vars w/", "#Vars w/o", "#Clauses w/",
@@ -164,5 +166,6 @@ main(int argc, char **argv)
                 "watcher, so those chains never dereference the "
                 "arena); the arena footprint covers every stored "
                 "clause plus three metadata words each.\n");
+    tflags.report();
     return 0;
 }

@@ -67,8 +67,10 @@ main(int argc, char **argv)
     const auto *large =
         flags.addBool("large", false, "run the full paper range");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("Hamiltonian-dependent Pauli weight, small scale",
                   "Table 4");
@@ -104,5 +106,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("Paper: Full SAT averages 37.26%% reduction, "
                 "SAT+Anl. 21.63%% (Table 4).\n");
+    tflags.report();
     return 0;
 }

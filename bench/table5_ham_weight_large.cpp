@@ -73,8 +73,10 @@ main(int argc, char **argv)
     const auto *large =
         flags.addBool("large", false, "run the full paper range");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("Hamiltonian-dependent Pauli weight, larger scale",
                   "Table 5");
@@ -105,5 +107,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("Paper: SAT+Anl. averages 23.71%% reduction over "
                 "BK at 8..18 modes (Table 5).\n");
+    tflags.report();
     return 0;
 }

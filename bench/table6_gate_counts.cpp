@@ -52,8 +52,10 @@ main(int argc, char **argv)
     const auto *time =
         flags.addDouble("time", 1.0, "evolution time t");
     bench::EngineFlags::add(flags);
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     bench::banner("compiled gate counts", "Table 6");
 
@@ -118,5 +120,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("Paper: ~20%% single-qubit and ~35%% CNOT reduction "
                 "vs BK on these workloads.\n");
+    tflags.report();
     return 0;
 }

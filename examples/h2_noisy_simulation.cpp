@@ -15,6 +15,7 @@
 #include "api/compiler.h"
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
+#include "common/telemetry_flags.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -35,8 +36,10 @@ main(int argc, char **argv)
     const auto *threads_flag =
         flags.addInt("threads", 0, "shot-runner threads (0 = "
                                    "hardware concurrency)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
     ThreadPool pool(
         ThreadPool::resolveThreadCount(*threads_flag));
 
@@ -107,5 +110,6 @@ main(int argc, char **argv)
                 pool.threadCount());
     std::printf("Lower drift from E0 and smaller sigma indicate a "
                 "better encoding.\n");
+    tflags.report();
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "api/service.h"
 #include "circuit/pauli_compiler.h"
 #include "common/flags.h"
+#include "common/telemetry_flags.h"
 #include "common/table.h"
 #include "fermion/models.h"
 
@@ -59,8 +60,10 @@ main(int argc, char **argv)
     const auto *stats_json = flags.addString(
         "cache-stats-json", "",
         "write cache statistics to this JSON file");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     const auto h = fermion::fermiHubbard1D(
         static_cast<std::size_t>(*sites), *t, *u);
@@ -114,5 +117,6 @@ main(int argc, char **argv)
         std::ofstream out(*stats_json);
         out << service.cacheStatsJson() << '\n';
     }
+    tflags.report();
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "api/service.h"
 #include "api/strategy_registry.h"
 #include "common/flags.h"
+#include "common/telemetry_flags.h"
 #include "common/table.h"
 
 using namespace fermihedral;
@@ -36,8 +37,10 @@ main(int argc, char **argv)
     const auto *stats_json = flags.addString(
         "cache-stats-json", "",
         "write cache statistics to this JSON file");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     const auto n = static_cast<std::size_t>(*modes);
     std::printf("Compiling %zu modes through the facade...\n", n);
@@ -106,5 +109,6 @@ main(int argc, char **argv)
         std::ofstream out(*stats_json);
         out << service.cacheStatsJson() << '\n';
     }
+    tflags.report();
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "api/compiler.h"
 #include "common/flags.h"
+#include "common/telemetry_flags.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "fermion/models.h"
@@ -26,8 +27,10 @@ main(int argc, char **argv)
     const auto *seed = flags.addInt("seed", 7, "coupling seed");
     const auto *timeout =
         flags.addDouble("timeout", 60.0, "SAT budget (s)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
+    tflags.arm();
 
     Rng rng(static_cast<std::uint64_t>(*seed));
     const auto n = static_cast<std::size_t>(*modes);
@@ -68,5 +71,6 @@ main(int argc, char **argv)
                 full.validation.valid()
                     ? "yes"
                     : full.validation.detail.c_str());
+    tflags.report();
     return 0;
 }

@@ -30,10 +30,12 @@
 #ifndef FERMIHEDRAL_API_COMPILER_H
 #define FERMIHEDRAL_API_COMPILER_H
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/descent_solver.h"
 #include "encodings/encoding.h"
 #include "fermion/operators.h"
 #include "pauli/commuting_groups.h"
@@ -102,6 +104,14 @@ struct CompilationRequest
 
     /** Inprocess clause databases between descent steps. */
     bool inprocess = true;
+
+    /**
+     * Per-bound progress observer forwarded to every descent the
+     * strategy runs (see core::DescentProgress). An execution knob
+     * like the budgets: NOT part of the request's cache identity —
+     * two requests differing only here hit the same cache entry.
+     */
+    std::function<void(const core::DescentProgress &)> progress;
 
     /** Mode count the search runs at (Hamiltonian wins). */
     std::size_t resolvedModes() const

@@ -7,12 +7,38 @@
 
 #include "api/serialize.h"
 #include "api/strategy_registry.h"
+#include "common/json_writer.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace fermihedral::api {
 
 namespace {
+
+/** The service's registry handles (allocated on first use). */
+struct ServiceMetrics
+{
+    telemetry::Counter &cacheHits;
+    telemetry::Counter &cacheMisses;
+    telemetry::Counter &cacheCorrupted;
+    telemetry::Gauge &queueDepth;
+    telemetry::Histogram &latencySeconds;
+
+    static ServiceMetrics &
+    get()
+    {
+        auto &registry = telemetry::MetricsRegistry::global();
+        static ServiceMetrics metrics{
+            registry.counter("service.cache.hits"),
+            registry.counter("service.cache.misses"),
+            registry.counter("service.cache.corrupted"),
+            registry.gauge("service.queue_depth"),
+            registry.histogram("service.latency_seconds"),
+        };
+        return metrics;
+    }
+};
 
 /** FNV-1a 64-bit hash of the canonical key (file names). */
 std::uint64_t
@@ -89,6 +115,7 @@ CompilerService::lookup(const std::string &key)
         if (it != lruIndex.end()) {
             lru.splice(lru.begin(), lru, it->second);
             ++stats.hits;
+            ServiceMetrics::get().cacheHits.add();
             return it->second->outcome;
         }
     }
@@ -112,10 +139,12 @@ CompilerService::lookup(const std::string &key)
     std::lock_guard lock(cacheMutex);
     if (!outcome) {
         ++stats.corrupted;
+        ServiceMetrics::get().cacheCorrupted.add();
         return std::nullopt;
     }
     ++stats.hits;
     ++stats.diskHits;
+    ServiceMetrics::get().cacheHits.add();
     // Promote into the LRU so later hits skip the disk read.
     insertLocked(key, *outcome);
     return outcome;
@@ -183,11 +212,16 @@ CompilerService::store(const std::string &key,
 CompilationResult
 CompilerService::compile(const CompilationRequest &request)
 {
+    telemetry::TraceSpan span("service.compile");
+    if (span.active())
+        span.arg("strategy", request.strategy);
     const std::string key = canonicalRequestKey(request);
     if (auto cached = lookup(key)) {
         CompilationResult result =
             Compiler::assemble(request, *cached);
         result.fromCache = true;
+        if (span.active())
+            span.arg("cached", true);
         return result;
     }
 
@@ -200,6 +234,14 @@ CompilerService::compile(const CompilationRequest &request)
         ++stats.misses;
         ++stats.computes;
     }
+    ServiceMetrics::get().cacheMisses.add();
+    // Per-strategy compile counter: the name lookup takes the
+    // registry mutex, which a full strategy search dwarfs.
+    telemetry::MetricsRegistry::global()
+        .counter("service.compiles." + request.strategy)
+        .add();
+    if (span.active())
+        span.arg("cached", false);
     store(key, outcome);
     CompilationResult result = Compiler::assemble(request, outcome);
     result.searchSeconds = search_seconds;
@@ -213,8 +255,25 @@ CompilerService::submit(CompilationRequest request)
     // suggestion) instead of burying the diagnostic in a future.
     makeStrategy(request.strategy);
 
+    auto &metrics = ServiceMetrics::get();
+    metrics.queueDepth.add(1);
+    const std::uint64_t submitted_ns = Timer::nowNs();
     std::packaged_task<CompilationResult()> task(
-        [this, request = std::move(request)] {
+        [this, submitted_ns, request = std::move(request)] {
+            auto &m = ServiceMetrics::get();
+            m.queueDepth.add(-1);
+            struct LatencyGuard
+            {
+                std::uint64_t submittedNs;
+                telemetry::Histogram &latency;
+                ~LatencyGuard()
+                {
+                    latency.record(
+                        static_cast<double>(Timer::nowNs() -
+                                            submittedNs) *
+                        1e-9);
+                }
+            } guard{submitted_ns, m.latencySeconds};
             return compile(request);
         });
     auto future = task.get_future();
@@ -279,15 +338,23 @@ std::string
 CompilerService::cacheStatsJson() const
 {
     const CacheStats snapshot = cacheStats();
-    std::ostringstream out;
-    out << "{\"hits\":" << snapshot.hits
-        << ",\"diskHits\":" << snapshot.diskHits
-        << ",\"misses\":" << snapshot.misses
-        << ",\"computes\":" << snapshot.computes
-        << ",\"insertions\":" << snapshot.insertions
-        << ",\"evictions\":" << snapshot.evictions
-        << ",\"corrupted\":" << snapshot.corrupted << "}";
-    return out.str();
+    JsonWriter json;
+    json.beginObject()
+        .member("hits", snapshot.hits)
+        .member("diskHits", snapshot.diskHits)
+        .member("misses", snapshot.misses)
+        .member("computes", snapshot.computes)
+        .member("insertions", snapshot.insertions)
+        .member("evictions", snapshot.evictions)
+        .member("corrupted", snapshot.corrupted)
+        .endObject();
+    return json.take();
+}
+
+std::string
+CompilerService::metricsJson()
+{
+    return telemetry::MetricsRegistry::global().metricsJson();
 }
 
 } // namespace fermihedral::api

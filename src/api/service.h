@@ -131,6 +131,15 @@ class CompilerService
     std::string cacheStatsJson() const;
 
     /**
+     * The process-wide telemetry registry rendered as one JSON
+     * object (common/telemetry.h) — queue depth, submit-to-complete
+     * latency percentiles, per-strategy compile counters, cache
+     * counters, solver counters. The deployable-service metrics
+     * endpoint the roadmap asks for.
+     */
+    static std::string metricsJson();
+
+    /**
      * The canonical cache identity of a request (see file docs).
      * Deterministic, space-free, human-readable.
      */

@@ -73,6 +73,7 @@ descentOptions(const CompilationRequest &request,
     options.preprocess = request.preprocess;
     options.carryLearnts = request.carryLearnts;
     options.inprocess = request.inprocess;
+    options.progress = request.progress;
     return options;
 }
 

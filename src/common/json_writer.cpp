@@ -1,0 +1,219 @@
+#include "common/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace fermihedral {
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            escaped += "\\\"";
+            break;
+        case '\\':
+            escaped += "\\\\";
+            break;
+        case '\b':
+            escaped += "\\b";
+            break;
+        case '\f':
+            escaped += "\\f";
+            break;
+        case '\n':
+            escaped += "\\n";
+            break;
+        case '\r':
+            escaped += "\\r";
+            break;
+        case '\t':
+            escaped += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                escaped += buf;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    require(expectValue || (!scopes.empty() &&
+                            scopes.back() == Scope::Array),
+            "JsonWriter: value emitted where a key is required");
+    if (!scopes.empty() && scopes.back() == Scope::Array &&
+        scopeHasElement.back()) {
+        out += ',';
+    }
+    if (!scopes.empty())
+        scopeHasElement.back() = true;
+    // Inside an object a value only follows a key; the key already
+    // placed the comma and colon.
+    expectValue = scopes.empty() ||
+                  scopes.back() == Scope::Array;
+}
+
+void
+JsonWriter::beforeKey()
+{
+    require(!scopes.empty() && scopes.back() == Scope::Object,
+            "JsonWriter: key() outside an object");
+    require(!expectValue,
+            "JsonWriter: key() where a value is required");
+    if (scopeHasElement.back())
+        out += ',';
+    scopeHasElement.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out += '{';
+    scopes.push_back(Scope::Object);
+    scopeHasElement.push_back(false);
+    expectValue = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    require(!scopes.empty() && scopes.back() == Scope::Object &&
+                !expectValue,
+            "JsonWriter: unbalanced endObject()");
+    out += '}';
+    scopes.pop_back();
+    scopeHasElement.pop_back();
+    expectValue = !scopes.empty() &&
+                  scopes.back() == Scope::Array;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out += '[';
+    scopes.push_back(Scope::Array);
+    scopeHasElement.push_back(false);
+    expectValue = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    require(!scopes.empty() && scopes.back() == Scope::Array,
+            "JsonWriter: unbalanced endArray()");
+    out += ']';
+    scopes.pop_back();
+    scopeHasElement.pop_back();
+    expectValue = !scopes.empty() &&
+                  scopes.back() == Scope::Array;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    beforeKey();
+    out += '"';
+    out += escape(name);
+    out += "\":";
+    expectValue = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out += '"';
+    out += escape(text);
+    out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool boolean)
+{
+    beforeValue();
+    out += boolean ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number))
+        return null();
+    beforeValue();
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof buf, number);
+    require(ec == std::errc{}, "JsonWriter: double render failed");
+    out.append(buf, end);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    require(!json.empty(), "JsonWriter: empty raw fragment");
+    beforeValue();
+    out += json;
+    return *this;
+}
+
+std::string
+JsonWriter::take()
+{
+    require(scopes.empty(), "JsonWriter: take() with open scopes");
+    std::string document = std::move(out);
+    out.clear();
+    expectValue = true;
+    return document;
+}
+
+} // namespace fermihedral

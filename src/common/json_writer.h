@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Streaming JSON writer shared by every JSON-emitting surface
+ * (telemetry export, the CompilerService cache/metrics endpoints,
+ * the bench --json artifacts). Replaces the per-binary hand-rolled
+ * string concatenation that never escaped its strings.
+ *
+ * Output is compact (no whitespace between tokens), so artifacts
+ * stay grep-able byte-for-byte: {"hits":4,"misses":0}.
+ *
+ * Key invariants:
+ *  - Every emitted document is syntactically valid JSON as long as
+ *    the begin/end calls are balanced and key() precedes each value
+ *    inside an object; violations are panics (library bug), never
+ *    malformed output.
+ *  - escape() renders any byte sequence into a valid JSON string
+ *    body: quote, backslash and control characters (< 0x20) are
+ *    escaped, everything else (including multi-byte UTF-8) passes
+ *    through unchanged.
+ *  - Doubles are written with enough digits to round-trip
+ *    (std::to_chars shortest form); NaN/Inf — which JSON cannot
+ *    represent — are written as null.
+ */
+
+#ifndef FERMIHEDRAL_COMMON_JSON_WRITER_H
+#define FERMIHEDRAL_COMMON_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fermihedral {
+
+/** Incremental writer producing one compact JSON document. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Escape `text` into a JSON string body (no quotes added). */
+    static std::string escape(std::string_view text);
+
+    // --- structure ----------------------------------------------
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object member key; the next call must be a value. */
+    JsonWriter &key(std::string_view name);
+
+    // --- values -------------------------------------------------
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string_view(text));
+    }
+    JsonWriter &value(bool boolean);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(double number);
+    JsonWriter &value(int number)
+    {
+        return value(static_cast<std::int64_t>(number));
+    }
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /**
+     * Splice a pre-rendered JSON fragment in value position (e.g.\
+     * a nested document produced by another writer). The caller
+     * vouches for its validity.
+     */
+    JsonWriter &rawValue(std::string_view json);
+
+    /** The document so far (valid once all scopes are closed). */
+    const std::string &str() const { return out; }
+
+    /** Move the document out; the writer is reset for reuse. */
+    std::string take();
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    /** Comma/placement bookkeeping before a value or key. */
+    void beforeValue();
+    void beforeKey();
+
+    std::string out;
+    std::vector<Scope> scopes;
+    /** A value is legal right now (start, after key, in array). */
+    bool expectValue = true;
+    /** Current scope already holds at least one element. */
+    std::vector<bool> scopeHasElement;
+};
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_JSON_WRITER_H

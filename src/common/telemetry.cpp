@@ -1,0 +1,481 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fermihedral::telemetry {
+
+namespace {
+
+/** fetch_add for atomic<double> via CAS (portable pre-C++20 TS). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(
+        expected, expected + delta, std::memory_order_relaxed,
+        std::memory_order_relaxed)) {
+    }
+}
+
+/** Lower `target` to at most `value` (atomic min). */
+void
+atomicMin(std::atomic<double> &target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (expected > value &&
+           !target.compare_exchange_weak(
+               expected, value, std::memory_order_relaxed,
+               std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (expected < value &&
+           !target.compare_exchange_weak(
+               expected, value, std::memory_order_relaxed,
+               std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------
+
+Histogram::Histogram(std::span<const double> bucket_bounds)
+    : bounds(bucket_bounds.begin(), bucket_bounds.end()),
+      minValue(std::numeric_limits<double>::infinity()),
+      maxValue(-std::numeric_limits<double>::infinity())
+{
+    require(!bounds.empty(), "histogram needs at least one bound");
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        require(bounds[i - 1] < bounds[i],
+                "histogram bounds must be strictly increasing");
+    }
+    buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds.size() + 1);
+}
+
+void
+Histogram::record(double value)
+{
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), value);
+    const std::size_t index =
+        static_cast<std::size_t>(it - bounds.begin());
+    buckets[index].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum, value);
+    atomicMin(minValue, value);
+    atomicMax(maxValue, value);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.bounds = bounds;
+    snap.buckets.resize(bounds.size() + 1);
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+        snap.buckets[i] =
+            buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count = count.load(std::memory_order_relaxed);
+    snap.sum = sum.load(std::memory_order_relaxed);
+    const double lo = minValue.load(std::memory_order_relaxed);
+    const double hi = maxValue.load(std::memory_order_relaxed);
+    snap.min = snap.count ? lo : 0.0;
+    snap.max = snap.count ? hi : 0.0;
+    return snap;
+}
+
+double
+Histogram::Snapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested percentile, 1-based (nearest-rank,
+    // then interpolated across the covering bucket's width).
+    const double rank =
+        std::max(1.0, p / 100.0 * static_cast<double>(count));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const std::uint64_t before = cumulative;
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) < rank)
+            continue;
+        // The rank falls in bucket i: interpolate between its
+        // lower and upper bound by the rank's position inside it.
+        const double lower =
+            i == 0 ? min
+                   : std::max(min, bounds[i - 1]);
+        const double upper =
+            i < bounds.size() ? std::min(max, bounds[i]) : max;
+        const double fraction =
+            (rank - static_cast<double>(before)) /
+            static_cast<double>(buckets[i]);
+        const double estimate =
+            lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+        return std::clamp(estimate, min, max);
+    }
+    return max;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds.size(); ++i)
+        buckets[i].store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0.0, std::memory_order_relaxed);
+    minValue.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    maxValue.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+}
+
+std::span<const double>
+Histogram::latencyBoundsSeconds()
+{
+    // Three log-spaced buckets per decade, 10 us .. 100 s: fine
+    // enough for p50/p90/p99 on solve and service latencies, small
+    // enough that a histogram costs ~200 bytes.
+    static const double bounds[] = {
+        1e-5,    2.15e-5, 4.64e-5, 1e-4,    2.15e-4, 4.64e-4,
+        1e-3,    2.15e-3, 4.64e-3, 1e-2,    2.15e-2, 4.64e-2,
+        1e-1,    2.15e-1, 4.64e-1, 1.0,     2.15,    4.64,
+        10.0,    21.5,    46.4,    100.0};
+    return bounds;
+}
+
+// --------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked on purpose: worker threads and static-destruction
+    // order must never race a registry teardown.
+    static MetricsRegistry *instance = new MetricsRegistry();
+    return *instance;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    const auto it = counters.find(name);
+    if (it != counters.end())
+        return *it->second;
+    return *counters
+                .emplace(std::string(name),
+                         std::make_unique<Counter>())
+                .first->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    const auto it = gauges.find(name);
+    if (it != gauges.end())
+        return *it->second;
+    return *gauges
+                .emplace(std::string(name),
+                         std::make_unique<Gauge>())
+                .first->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::span<const double> bounds)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    const auto it = histograms.find(name);
+    if (it != histograms.end())
+        return *it->second;
+    if (bounds.empty())
+        bounds = Histogram::latencyBoundsSeconds();
+    return *histograms
+                .emplace(std::string(name),
+                         std::make_unique<Histogram>(bounds))
+                .first->second;
+}
+
+std::string
+MetricsRegistry::metricsJson() const
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    JsonWriter json;
+    json.beginObject();
+    json.key("counters").beginObject();
+    for (const auto &[name, counter] : counters)
+        json.member(name, counter->get());
+    json.endObject();
+    json.key("gauges").beginObject();
+    for (const auto &[name, gauge] : gauges)
+        json.member(name, gauge->get());
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto &[name, histogram] : histograms) {
+        const Histogram::Snapshot snap = histogram->snapshot();
+        json.key(name).beginObject();
+        json.member("count", snap.count);
+        json.member("sum", snap.sum);
+        json.member("mean", snap.mean());
+        json.member("min", snap.min);
+        json.member("max", snap.max);
+        json.member("p50", snap.p50());
+        json.member("p90", snap.p90());
+        json.member("p99", snap.p99());
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    return json.take();
+}
+
+bool
+MetricsRegistry::writeMetricsJson(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+        warn("telemetry: cannot write metrics to '", path, "'");
+        return false;
+    }
+    file << metricsJson() << '\n';
+    return static_cast<bool>(file);
+}
+
+void
+MetricsRegistry::reset()
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    // Handles must stay valid: zero in place, never erase.
+    for (auto &[name, counter] : counters)
+        counter->reset();
+    for (auto &[name, gauge] : gauges)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms)
+        histogram->reset();
+}
+
+// --------------------------------------------------------------------
+// TraceRecorder
+// --------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder() : epochNs(Timer::nowNs()) {}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder *instance = new TraceRecorder();
+    return *instance;
+}
+
+void
+TraceRecorder::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceRecorder::nowNs() const
+{
+    return Timer::nowNs() - epochNs;
+}
+
+std::uint32_t
+TraceRecorder::currentThreadId()
+{
+    thread_local std::uint32_t cached = 0;
+    thread_local TraceRecorder *cachedFor = nullptr;
+    if (cachedFor != this) {
+        const std::lock_guard<std::mutex> guard(mutex);
+        cached = nextThreadId++;
+        cachedFor = this;
+    }
+    return cached;
+}
+
+void
+TraceRecorder::record(TraceEvent event)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    events.push_back(std::move(event));
+}
+
+void
+TraceRecorder::clear()
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    events.clear();
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    return events.size();
+}
+
+std::string
+TraceRecorder::chromeTraceJson() const
+{
+    std::vector<TraceEvent> snapshot;
+    {
+        const std::lock_guard<std::mutex> guard(mutex);
+        snapshot = events;
+    }
+    // Stable order (start time, then thread) so exports diff
+    // cleanly; viewers accept any order.
+    std::stable_sort(snapshot.begin(), snapshot.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.startNs != b.startNs)
+                             return a.startNs < b.startNs;
+                         return a.tid < b.tid;
+                     });
+    JsonWriter json;
+    json.beginObject();
+    json.member("displayTimeUnit", "ms");
+    json.key("traceEvents").beginArray();
+    for (const TraceEvent &event : snapshot) {
+        json.beginObject();
+        json.member("name", event.name);
+        json.member("cat", "fermihedral");
+        json.member("ph", "X");
+        json.member("ts",
+                    static_cast<double>(event.startNs) / 1000.0);
+        json.member("dur",
+                    static_cast<double>(event.durationNs) / 1000.0);
+        json.member("pid", 1);
+        json.member("tid",
+                    static_cast<std::uint64_t>(event.tid));
+        if (!event.args.empty()) {
+            json.key("args");
+            std::string object = "{";
+            object += event.args;
+            object += '}';
+            json.rawValue(object);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.take();
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+        warn("telemetry: cannot write trace to '", path, "'");
+        return false;
+    }
+    file << chromeTraceJson() << '\n';
+    return static_cast<bool>(file);
+}
+
+// --------------------------------------------------------------------
+// TraceSpan
+// --------------------------------------------------------------------
+
+TraceSpan::TraceSpan(std::string_view span_name)
+    : live(TraceRecorder::global().enabled())
+{
+    if (!live)
+        return;
+    name.assign(span_name);
+    startNs = TraceRecorder::global().nowNs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!live)
+        return;
+    TraceRecorder &recorder = TraceRecorder::global();
+    TraceEvent event;
+    event.name = std::move(name);
+    event.args = std::move(args);
+    event.startNs = startNs;
+    const std::uint64_t end = recorder.nowNs();
+    event.durationNs = end > startNs ? end - startNs : 0;
+    event.tid = recorder.currentThreadId();
+    recorder.record(std::move(event));
+}
+
+void
+TraceSpan::appendArgKey(std::string_view key)
+{
+    if (!args.empty())
+        args += ',';
+    args += '"';
+    args += JsonWriter::escape(key);
+    args += "\":";
+}
+
+void
+TraceSpan::arg(std::string_view key, std::string_view text)
+{
+    if (!live)
+        return;
+    appendArgKey(key);
+    args += '"';
+    args += JsonWriter::escape(text);
+    args += '"';
+}
+
+void
+TraceSpan::arg(std::string_view key, std::uint64_t number)
+{
+    if (!live)
+        return;
+    appendArgKey(key);
+    args += std::to_string(number);
+}
+
+void
+TraceSpan::arg(std::string_view key, std::int64_t number)
+{
+    if (!live)
+        return;
+    appendArgKey(key);
+    args += std::to_string(number);
+}
+
+void
+TraceSpan::arg(std::string_view key, double number)
+{
+    if (!live)
+        return;
+    JsonWriter fragment;
+    fragment.value(number);
+    appendArgKey(key);
+    args += fragment.str();
+}
+
+void
+TraceSpan::arg(std::string_view key, bool boolean)
+{
+    if (!live)
+        return;
+    appendArgKey(key);
+    args += boolean ? "true" : "false";
+}
+
+} // namespace fermihedral::telemetry

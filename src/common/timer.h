@@ -1,19 +1,26 @@
 /**
  * @file
- * Wall-clock stopwatch used by the descent solver budgets and the
- * time-to-solution benchmarks (Figure 11).
+ * Wall-clock stopwatch used by the descent solver budgets, the
+ * time-to-solution benchmarks (Figure 11) and the telemetry span
+ * recorder (common/telemetry.h).
  *
  * Key invariants:
- *  - Based on std::chrono::steady_clock, so elapsed readings are
- *    monotone and immune to system clock adjustments.
- *  - seconds() is const and may be polled repeatedly; only reset()
- *    restarts the epoch.
+ *  - Based on std::chrono::steady_clock — the project's single
+ *    time source. Elapsed readings and nowNs() ticks are monotone
+ *    and immune to system clock adjustments; nothing in the tree
+ *    times anything off system_clock.
+ *  - seconds()/elapsedNs() are const and may be polled repeatedly;
+ *    only reset() restarts the epoch.
+ *  - nowNs() readings from different threads share one epoch (the
+ *    steady clock's), so cross-thread span timelines are directly
+ *    comparable.
  */
 
 #ifndef FERMIHEDRAL_COMMON_TIMER_H
 #define FERMIHEDRAL_COMMON_TIMER_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace fermihedral {
 
@@ -36,6 +43,29 @@ class Timer
 
     /** Elapsed wall-clock time in milliseconds. */
     double milliseconds() const { return seconds() * 1e3; }
+
+    /** Elapsed wall-clock time in integer nanoseconds. */
+    std::uint64_t
+    elapsedNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count());
+    }
+
+    /**
+     * Monotonic nanoseconds since the steady clock's epoch: the
+     * raw tick the span recorder timestamps events with.
+     */
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+    }
 
   private:
     using Clock = std::chrono::steady_clock;

@@ -1,6 +1,7 @@
 #include "core/descent_solver.h"
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "encodings/linear.h"
 #include "encodings/ternary_tree.h"
@@ -74,6 +75,9 @@ DescentResult
 DescentSolver::solve()
 {
     Timer total_timer;
+    telemetry::TraceSpan run_span("descent.run");
+    if (run_span.active())
+        run_span.arg("modes", modes);
     DescentResult result;
 
     const enc::FermionEncoding bk = enc::bravyiKitaev(modes);
@@ -134,6 +138,8 @@ DescentSolver::solve()
     // Descent loop (Algorithm 1): each round permanently bounds the
     // cost one below the best known solution.
     std::size_t best = std::min(w0, start_cost);
+    auto &step_seconds = telemetry::MetricsRegistry::global()
+                             .histogram("descent.step_seconds");
     Timer solve_timer;
     while (best > 0) {
         const double elapsed = solve_timer.seconds();
@@ -141,14 +147,21 @@ DescentSolver::solve()
             options.totalTimeoutSeconds - elapsed;
         if (remaining <= 0)
             break;
-        model->boundCostAtMost(best - 1);
+        const std::size_t asked = best - 1;
+        telemetry::TraceSpan span("descent.bound");
+        if (span.active())
+            span.arg("bound", asked);
+        model->boundCostAtMost(asked);
 
         sat::Budget budget;
         budget.maxSeconds =
             std::min(options.stepTimeoutSeconds, remaining);
+        const Timer step_timer;
         const sat::SolveStatus status = solver->solve({}, budget);
         ++result.satCalls;
+        step_seconds.record(step_timer.seconds());
 
+        bool stop = false;
         if (status == sat::SolveStatus::Sat) {
             const enc::FermionEncoding candidate = model->decode();
             const std::size_t cost = model->costOf(candidate);
@@ -162,15 +175,46 @@ DescentSolver::solve()
             afterStep(result.satCalls);
         } else if (status == sat::SolveStatus::Unsat) {
             result.provedOptimal = true;
-            break;
+            stop = true;
         } else {
-            break; // budget expired without an answer
+            stop = true; // budget expired without an answer
         }
+
+        if (span.active()) {
+            span.arg("status",
+                     status == sat::SolveStatus::Sat
+                         ? "sat"
+                         : status == sat::SolveStatus::Unsat
+                               ? "unsat"
+                               : "unknown");
+            span.arg("best_cost", best);
+            span.arg(
+                "conflicts",
+                solver->portfolioStats().aggregate.conflicts);
+        }
+        if (options.progress) {
+            DescentProgress report;
+            report.bound = asked;
+            report.bestCost = result.cost;
+            report.satCalls = result.satCalls;
+            report.elapsedSeconds = solve_timer.seconds();
+            report.status = status;
+            report.conflicts =
+                solver->portfolioStats().aggregate.conflicts;
+            options.progress(report);
+        }
+        if (stop)
+            break;
     }
     if (best == 0)
         result.provedOptimal = true;
     result.solveSeconds = solve_timer.seconds();
     result.satStats = solver->portfolioStats();
+    if (run_span.active()) {
+        run_span.arg("cost", result.cost);
+        run_span.arg("sat_calls", result.satCalls);
+        run_span.arg("proved_optimal", result.provedOptimal);
+    }
     lastResult = result;
     return result;
 }

@@ -33,6 +33,7 @@
 #ifndef FERMIHEDRAL_CORE_DESCENT_SOLVER_H
 #define FERMIHEDRAL_CORE_DESCENT_SOLVER_H
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -42,6 +43,33 @@
 #include "sat/portfolio.h"
 
 namespace fermihedral::core {
+
+/**
+ * One per-bound progress report, delivered after every SAT step of
+ * the descent loop (improving models, the final UNSAT refutation
+ * and budget-expired steps alike). Successive reports have strictly
+ * decreasing `bound` and non-decreasing `elapsedSeconds`.
+ */
+struct DescentProgress
+{
+    /** The bound this step asked for (best - 1). */
+    std::size_t bound = 0;
+
+    /** Cheapest feasible cost known after the step. */
+    std::size_t bestCost = 0;
+
+    /** SAT calls made so far, this step included. */
+    std::size_t satCalls = 0;
+
+    /** Wall-clock since solve() started (monotonic clock). */
+    double elapsedSeconds = 0.0;
+
+    /** The step's answer: Sat = improved, Unsat = proved optimal. */
+    sat::SolveStatus status = sat::SolveStatus::Unknown;
+
+    /** Aggregate solver conflicts across the run so far. */
+    std::uint64_t conflicts = 0;
+};
 
 /** Options for one descent run. */
 struct DescentOptions
@@ -150,6 +178,14 @@ struct DescentOptions
      * than the baseline.
      */
     std::optional<enc::FermionEncoding> seedEncoding;
+
+    /**
+     * Called after every SAT step with the descent's state (see
+     * DescentProgress). Runs on the descent thread; an execution
+     * observer only — it cannot steer the search, and it must not
+     * re-enter the solver. Empty = no reports.
+     */
+    std::function<void(const DescentProgress &)> progress;
 };
 
 /** Result of a descent run. */

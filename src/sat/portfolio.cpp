@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace fermihedral::sat {
@@ -268,6 +269,11 @@ void
 PortfolioSolver::build(bool skip_preprocess)
 {
     require(!built, "portfolio built twice");
+    telemetry::TraceSpan span("portfolio.build");
+    if (span.active()) {
+        span.arg("instances", instanceCount);
+        span.arg("clauses", pendingClauses.size());
+    }
 
     std::vector<std::vector<Lit>> load;
     const bool under_ceiling =
@@ -351,6 +357,7 @@ PortfolioSolver::inprocess()
     // Each instance inprocesses its own database; the pass is a
     // per-instance deterministic function of its state, so fanning
     // out over the pool cannot perturb deterministic arbitration.
+    telemetry::TraceSpan span("portfolio.inprocess");
     pool->forEach(instanceCount, [&](std::size_t i) {
         instances[i]->inprocess(options.inprocess);
     });
@@ -372,6 +379,11 @@ PortfolioSolver::solve(std::span<const Lit> assumptions,
 {
     if (!built)
         build(/*skip_preprocess=*/!assumptions.empty());
+    telemetry::TraceSpan span("portfolio.solve");
+    if (span.active()) {
+        span.arg("instances", instanceCount);
+        span.arg("racing", !options.deterministic);
+    }
     ++portfolio.solves;
     if (topLevelUnsat) {
         ++portfolio.unsatAnswers;
@@ -416,6 +428,12 @@ PortfolioSolver::solve(std::span<const Lit> assumptions,
         }
 
         pool->forEach(instanceCount, [&](std::size_t i) {
+            // One span per instance, recorded on the worker thread
+            // that ran it: a --trace timeline shows the race the
+            // arbitration (racing or deterministic) chose from.
+            telemetry::TraceSpan instance_span("portfolio.instance");
+            if (instance_span.active())
+                instance_span.arg("instance", i);
             Budget local = budget;
             if (!options.deterministic)
                 local.stopFlag = &stop;
@@ -427,12 +445,23 @@ PortfolioSolver::solve(std::span<const Lit> assumptions,
             if (budget.maxSeconds > 0) {
                 local.maxSeconds =
                     budget.maxSeconds - solve_timer.seconds();
-                if (local.maxSeconds <= 0)
+                if (local.maxSeconds <= 0) {
+                    if (instance_span.active())
+                        instance_span.arg("status", "skipped");
                     return; // stays Unknown
+                }
             }
             const SolveStatus result =
                 instances[i]->solve(assumptions, local);
             results[i] = result;
+            if (instance_span.active()) {
+                instance_span.arg(
+                    "status",
+                    result == SolveStatus::Sat
+                        ? "sat"
+                        : result == SolveStatus::Unsat ? "unsat"
+                                                       : "unknown");
+            }
             if (result == SolveStatus::Unknown)
                 return;
             // Deterministic mode cancels nobody — not even
@@ -483,6 +512,8 @@ PortfolioSolver::solve(std::span<const Lit> assumptions,
     }
 
     portfolio.lastWinner = winner_index;
+    if (span.active())
+        span.arg("winner", winner_index);
     switch (status) {
     case SolveStatus::Sat:
         ++portfolio.satAnswers;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace fermihedral::sat {
@@ -470,6 +471,7 @@ Simplifier::run(const SimplifierOptions &options)
 {
     require(!ran, "Simplifier::run() may only be called once");
     ran = true;
+    telemetry::TraceSpan span("sat.simplify");
     const Timer run_timer;
     budgetSeconds = options.timeBudgetSeconds;
     budgetStart = std::chrono::steady_clock::now();
@@ -511,6 +513,15 @@ Simplifier::run(const SimplifierOptions &options)
                 ++statistics.simplifiedLiterals;
             }
         }
+    }
+    if (span.active()) {
+        span.arg("rounds", statistics.rounds);
+        span.arg("original_clauses", statistics.originalClauses);
+        span.arg("simplified_clauses",
+                 statistics.simplifiedClauses);
+        span.arg("subsumed", statistics.subsumedClauses);
+        span.arg("eliminated_vars",
+                 statistics.eliminatedVariables);
     }
 }
 

@@ -1,9 +1,10 @@
 #include "sat/solver.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
 #include "sat/portfolio.h"
 #include "sat/preprocess.h"
 
@@ -448,6 +449,7 @@ Solver::garbageCollectIfNeeded()
 void
 Solver::garbageCollect()
 {
+    telemetry::TraceSpan span("sat.gc");
     ClauseArena to;
     // Relocating through the watcher lists first preserves their
     // traversal order exactly, so a collection changes no future
@@ -468,7 +470,12 @@ Solver::garbageCollect()
     for (ClauseRef &ref : learntClauses)
         ref = arena.relocate(ref, to);
     ++statistics.garbageCollects;
-    statistics.reclaimedWords += arena.size() - to.size();
+    const std::size_t reclaimed = arena.size() - to.size();
+    statistics.reclaimedWords += reclaimed;
+    if (span.active()) {
+        span.arg("reclaimed_words", reclaimed);
+        span.arg("arena_words", to.size());
+    }
     arena = std::move(to);
     maybeCheck();
 }
@@ -626,6 +633,9 @@ Solver::inprocess(const InprocessOptions &options)
         return false;
     }
     ++statistics.inprocessings;
+    telemetry::TraceSpan span("sat.inprocess");
+    const std::uint64_t subsumed_before = statistics.inprocessSubsumed;
+    const std::uint64_t vivified_before = statistics.vivifiedClauses;
     detachLevelZeroReasons();
     if (options.subsumption && !subsumptionPass()) {
         maybeCheck();
@@ -637,6 +647,12 @@ Solver::inprocess(const InprocessOptions &options)
     }
     garbageCollectIfNeeded();
     maybeCheck();
+    if (span.active()) {
+        span.arg("subsumed",
+                 statistics.inprocessSubsumed - subsumed_before);
+        span.arg("vivified",
+                 statistics.vivifiedClauses - vivified_before);
+    }
     return ok;
 }
 
@@ -965,9 +981,9 @@ Solver::luby(std::uint64_t i)
 double
 Solver::now() const
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    // Timer::nowNs is the project-wide monotonic tick; sharing it
+    // keeps budget checks on the same timeline as telemetry spans.
+    return static_cast<double>(Timer::nowNs()) * 1e-9;
 }
 
 std::uint64_t
@@ -1116,12 +1132,50 @@ Solver::solve(std::span<const Lit> assumptions, const Budget &budget)
         return SolveStatus::Unsat;
     }
     maybeCheck();
+    telemetry::TraceSpan span("sat.solve");
+    const SolverStats before = statistics;
     const double start_time = now();
     const SolveStatus status = search(budget, start_time);
     cancelUntil(0);
     assumptionList.clear();
     maybeCheck();
+    publishTelemetry(before, status, span);
     return status;
+}
+
+/**
+ * Push this solve's SolverStats deltas into the global metrics
+ * registry. Deltas are accumulated once per solve() — never inside
+ * the search loop — so the CDCL hot path carries no atomics.
+ */
+void
+Solver::publishTelemetry(const SolverStats &before,
+                         SolveStatus status,
+                         telemetry::TraceSpan &span) const
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    static auto &conflicts = registry.counter("sat.conflicts");
+    static auto &decisions = registry.counter("sat.decisions");
+    static auto &propagations = registry.counter("sat.propagations");
+    static auto &restarts = registry.counter("sat.restarts");
+    static auto &learntDb = registry.gauge("sat.learnt_db_clauses");
+    conflicts.add(statistics.conflicts - before.conflicts);
+    decisions.add(statistics.decisions - before.decisions);
+    propagations.add(statistics.propagations - before.propagations);
+    restarts.add(statistics.restarts - before.restarts);
+    learntDb.set(static_cast<std::int64_t>(learntClauses.size()));
+    if (span.active()) {
+        span.arg("status",
+                 status == SolveStatus::Sat
+                     ? "sat"
+                     : status == SolveStatus::Unsat ? "unsat"
+                                                    : "unknown");
+        span.arg("conflicts", statistics.conflicts - before.conflicts);
+        span.arg("propagations",
+                 statistics.propagations - before.propagations);
+        span.arg("restarts", statistics.restarts - before.restarts);
+        span.arg("learnt_db", learntClauses.size());
+    }
 }
 
 LBool

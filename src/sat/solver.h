@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "sat/clause_arena.h"
 #include "sat/solver_base.h"
 #include "sat/types.h"
@@ -374,6 +375,11 @@ class Solver final : public SolverBase
     std::uint64_t restartLimit(std::uint64_t round) const;
     static std::uint64_t luby(std::uint64_t i);
     double now() const;
+
+    /** Push this solve's stat deltas into the metrics registry. */
+    void publishTelemetry(const SolverStats &before,
+                          SolveStatus status,
+                          telemetry::TraceSpan &span) const;
 
     bool budgetExpired(const Budget &budget, double start_time,
                        std::uint64_t start_conflicts) const;

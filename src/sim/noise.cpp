@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "pauli/commuting_groups.h"
 
@@ -245,7 +246,13 @@ measureEnergy(const circuit::Circuit &circuit,
 {
     require(shots >= 1, "measureEnergy needs at least one shot");
     Timer timer;
-    const MeasurementPlan plan(hamiltonian);
+    telemetry::TraceSpan span("sim.measure_energy");
+    if (span.active())
+        span.arg("shots", shots);
+    const MeasurementPlan plan = [&] {
+        telemetry::TraceSpan plan_span("sim.plan_build");
+        return MeasurementPlan(hamiltonian);
+    }();
     // One draw from the caller, then one forked stream per shot:
     // shot s sees the same randomness on every thread count.
     Rng master = rng.split();
@@ -253,45 +260,53 @@ measureEnergy(const circuit::Circuit &circuit,
 
     const bool noiseless_gates =
         noise.singleQubitError <= 0 && noise.twoQubitError <= 0;
-    if (noiseless_gates) {
-        // Trajectories are deterministic: compute the final state
-        // and the per-family rotated sampling tables once, then a
-        // shot is one CDF draw per family (plus readout flips).
-        // This consumes the same RNG stream as the general path,
-        // so the results are bit-identical to it.
-        StateVector final_state = initial;
-        final_state.applyCircuit(circuit);
-        std::vector<SampleTable> tables;
-        tables.reserve(plan.groups().size());
-        StateVector rotated(1);
-        for (const auto &group : plan.groups()) {
-            rotated = final_state;
-            rotated.applyFused(group.rotation);
-            tables.emplace_back(rotated);
-        }
-        pool.forEach(shots, [&](std::size_t shot) {
-            Rng shot_rng = master.fork(shot);
-            double energy = plan.identityEnergy();
-            for (std::size_t g = 0; g < tables.size(); ++g) {
-                std::uint64_t bits = tables[g].sample(shot_rng);
-                bits = flipReadout(bits, plan.numQubits(), noise,
-                                   shot_rng);
-                energy += readGroup(plan.groups()[g], bits);
+    {
+        telemetry::TraceSpan sample_span("sim.sample");
+        if (sample_span.active())
+            sample_span.arg("noiseless_gates", noiseless_gates);
+        if (noiseless_gates) {
+            // Trajectories are deterministic: compute the final state
+            // and the per-family rotated sampling tables once, then a
+            // shot is one CDF draw per family (plus readout flips).
+            // This consumes the same RNG stream as the general path,
+            // so the results are bit-identical to it.
+            StateVector final_state = initial;
+            final_state.applyCircuit(circuit);
+            std::vector<SampleTable> tables;
+            tables.reserve(plan.groups().size());
+            StateVector rotated(1);
+            for (const auto &group : plan.groups()) {
+                rotated = final_state;
+                rotated.applyFused(group.rotation);
+                tables.emplace_back(rotated);
             }
-            energies[shot] = energy;
-        });
-    } else {
-        // One matrix per gate, trig evaluated once for all shots.
-        const auto lowered = circuit::lowerToMatrices(circuit);
-        pool.forEach(shots, [&](std::size_t shot) {
-            Rng shot_rng = master.fork(shot);
-            thread_local StateVector trajectory(1);
-            runNoisyTrajectoryInto(lowered, initial, noise,
-                                   shot_rng, trajectory);
-            energies[shot] =
-                sampleEnergy(trajectory, plan, noise, shot_rng);
-        });
+            pool.forEach(shots, [&](std::size_t shot) {
+                Rng shot_rng = master.fork(shot);
+                double energy = plan.identityEnergy();
+                for (std::size_t g = 0; g < tables.size(); ++g) {
+                    std::uint64_t bits = tables[g].sample(shot_rng);
+                    bits = flipReadout(bits, plan.numQubits(), noise,
+                                       shot_rng);
+                    energy += readGroup(plan.groups()[g], bits);
+                }
+                energies[shot] = energy;
+            });
+        } else {
+            // One matrix per gate, trig evaluated once for all shots.
+            const auto lowered = circuit::lowerToMatrices(circuit);
+            pool.forEach(shots, [&](std::size_t shot) {
+                Rng shot_rng = master.fork(shot);
+                thread_local StateVector trajectory(1);
+                runNoisyTrajectoryInto(lowered, initial, noise,
+                                       shot_rng, trajectory);
+                energies[shot] =
+                    sampleEnergy(trajectory, plan, noise, shot_rng);
+            });
+        }
     }
+    telemetry::MetricsRegistry::global()
+        .counter("sim.shots")
+        .add(shots);
 
     // Reduce in shot order: the sums are independent of how the
     // pool scheduled the shots.

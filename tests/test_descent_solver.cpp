@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/descent_solver.h"
@@ -208,6 +209,48 @@ TEST(DescentSolver, CarryOverKeepsCostAndSavesConflicts)
     EXPECT_EQ(kept.satStats.aggregate.clearedLearnts, 0u);
     EXPECT_LT(kept.satStats.aggregate.conflicts,
               cleared.satStats.aggregate.conflicts);
+}
+
+TEST(DescentSolver, ProgressCallbackIsMonotone)
+{
+    // The observer contract: one report per SAT step, bounds
+    // strictly decreasing (each step asks below the best cost so
+    // far), elapsed time non-decreasing, and exactly one SAT call
+    // per report.
+    std::vector<DescentProgress> reports;
+    DescentOptions options = fastOptions();
+    options.progress = [&](const DescentProgress &p) {
+        reports.push_back(p);
+    };
+    DescentSolver solver(3, options);
+    const auto result = solver.solve();
+
+    ASSERT_FALSE(reports.empty());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const DescentProgress &report = reports[i];
+        if (report.status == sat::SolveStatus::Sat) {
+            // A SAT step improves to at most the bound it asked.
+            EXPECT_LE(report.bestCost, report.bound);
+        } else {
+            // UNSAT/timeout leaves the previous best (= bound + 1).
+            EXPECT_EQ(report.bestCost, report.bound + 1);
+        }
+        EXPECT_EQ(report.satCalls, i + 1);
+        if (i == 0)
+            continue;
+        EXPECT_LT(report.bound, reports[i - 1].bound);
+        EXPECT_GE(report.elapsedSeconds,
+                  reports[i - 1].elapsedSeconds);
+        EXPECT_LE(report.bestCost, reports[i - 1].bestCost);
+        EXPECT_GE(report.conflicts, reports[i - 1].conflicts);
+    }
+    // The final report's best cost is the result the caller gets.
+    EXPECT_EQ(reports.back().bestCost, result.cost);
+    // Observer-only: attaching the callback must not change the
+    // outcome of the search.
+    const auto plain = DescentSolver(3, fastOptions()).solve();
+    EXPECT_EQ(result.cost, plain.cost);
+    EXPECT_EQ(result.satCalls, plain.satCalls);
 }
 
 TEST(DescentSolver, EnumerateOptimalBeforeSolveIsFatal)

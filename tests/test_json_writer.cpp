@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the shared streaming JSON writer: escaping, structure
+ * bookkeeping (commas, nesting), number rendering and misuse
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace fermihedral {
+namespace {
+
+TEST(JsonWriterEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(JsonWriter::escape("hello world"), "hello world");
+    EXPECT_EQ(JsonWriter::escape(""), "");
+}
+
+TEST(JsonWriterEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonWriterEscape, EscapesNamedControlCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc\rd\be\ff"),
+              "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonWriterEscape, EscapesOtherControlCharactersAsUnicode)
+{
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+}
+
+TEST(JsonWriterEscape, PassesUtf8Through)
+{
+    // Multi-byte UTF-8 has every byte >= 0x80: none is escaped.
+    EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, EmptyObjectAndArray)
+{
+    JsonWriter object;
+    object.beginObject().endObject();
+    EXPECT_EQ(object.take(), "{}");
+
+    JsonWriter array;
+    array.beginArray().endArray();
+    EXPECT_EQ(array.take(), "[]");
+}
+
+TEST(JsonWriter, ObjectMembersAreCommaSeparated)
+{
+    JsonWriter json;
+    json.beginObject()
+        .member("a", 1)
+        .member("b", "two")
+        .member("c", true)
+        .endObject();
+    EXPECT_EQ(json.take(), "{\"a\":1,\"b\":\"two\",\"c\":true}");
+}
+
+TEST(JsonWriter, NestedStructures)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("list").beginArray();
+    json.value(1).value(2);
+    json.beginObject().member("deep", false).endObject();
+    json.endArray();
+    json.key("empty").beginObject().endObject();
+    json.endObject();
+    EXPECT_EQ(json.take(),
+              "{\"list\":[1,2,{\"deep\":false}],\"empty\":{}}");
+}
+
+TEST(JsonWriter, KeysAreEscaped)
+{
+    JsonWriter json;
+    json.beginObject().member("we\"ird", 0).endObject();
+    EXPECT_EQ(json.take(), "{\"we\\\"ird\":0}");
+}
+
+TEST(JsonWriter, IntegerRendering)
+{
+    JsonWriter json;
+    json.beginArray()
+        .value(std::numeric_limits<std::int64_t>::min())
+        .value(std::numeric_limits<std::uint64_t>::max())
+        .value(0)
+        .endArray();
+    EXPECT_EQ(json.take(),
+              "[-9223372036854775808,18446744073709551615,0]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    JsonWriter json;
+    json.beginArray().value(0.1).value(-2.5).value(1e300)
+        .endArray();
+    const std::string out = json.take();
+    // Shortest-form rendering must parse back to the exact value.
+    double a = 0, b = 0, c = 0;
+    ASSERT_EQ(std::sscanf(out.c_str(), "[%lf,%lf,%lf]", &a, &b, &c),
+              3)
+        << out;
+    EXPECT_EQ(a, 0.1);
+    EXPECT_EQ(b, -2.5);
+    EXPECT_EQ(c, 1e300);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .null()
+        .endArray();
+    EXPECT_EQ(json.take(), "[null,null,null]");
+}
+
+TEST(JsonWriter, RawValueSplicesVerbatim)
+{
+    JsonWriter json;
+    json.beginObject().key("args").rawValue("{\"x\":1}")
+        .endObject();
+    EXPECT_EQ(json.take(), "{\"args\":{\"x\":1}}");
+}
+
+TEST(JsonWriter, TakeResetsForReuse)
+{
+    JsonWriter json;
+    json.beginObject().endObject();
+    EXPECT_EQ(json.take(), "{}");
+    json.beginArray().value(1).endArray();
+    EXPECT_EQ(json.take(), "[1]");
+}
+
+TEST(JsonWriter, MisuseIsAPanic)
+{
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.value(1), PanicError); // key required
+    }
+    {
+        JsonWriter json;
+        json.beginArray();
+        EXPECT_THROW(json.key("k"), PanicError); // not an object
+    }
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.endArray(), PanicError); // unbalanced
+    }
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.take(), PanicError); // open scope
+    }
+}
+
+} // namespace
+} // namespace fermihedral

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Sanity-check telemetry artifacts produced by --metrics-json / --trace.
+
+Usage: check_telemetry.py FILE [FILE ...]
+
+Each file is detected by shape: a Chrome trace document (top-level
+"traceEvents") or a metrics document (top-level "counters" /
+"gauges" / "histograms"). The check asserts the schema the repo's
+consumers (Perfetto, the artifact diffing) rely on: required keys
+present, timestamps/durations non-negative, and histogram
+percentiles ordered min <= p50 <= p90 <= p99 <= max.
+"""
+
+import json
+import sys
+
+TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+HISTOGRAM_KEYS = {"count", "sum", "mean", "min", "max",
+                  "p50", "p90", "p99"}
+
+
+def fail(path, message):
+    raise SystemExit(f"{path}: {message}")
+
+
+def check_trace(path, doc):
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "traceEvents is not a list")
+    for i, event in enumerate(events):
+        missing = TRACE_EVENT_KEYS - event.keys()
+        if missing:
+            fail(path, f"event {i} missing keys {sorted(missing)}")
+        if event["ph"] != "X":
+            fail(path, f"event {i}: expected complete ('X') events")
+        if event["ts"] < 0 or event["dur"] < 0:
+            fail(path, f"event {i}: negative ts/dur")
+        if "args" in event and not isinstance(event["args"], dict):
+            fail(path, f"event {i}: args is not an object")
+    print(f"{path}: trace OK ({len(events)} events)")
+
+
+def check_metrics(path, doc):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(path, f"missing section {section!r}")
+        if not isinstance(doc[section], dict):
+            fail(path, f"section {section!r} is not an object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(path, f"counter {name!r}: bad value {value!r}")
+    for name, hist in doc["histograms"].items():
+        missing = HISTOGRAM_KEYS - hist.keys()
+        if missing:
+            fail(path,
+                 f"histogram {name!r} missing {sorted(missing)}")
+        if hist["count"] > 0:
+            ordered = (hist["min"] <= hist["p50"] <= hist["p90"]
+                       <= hist["p99"] <= hist["max"])
+            if not ordered:
+                fail(path,
+                     f"histogram {name!r}: percentiles out of "
+                     f"order: {hist}")
+    print(f"{path}: metrics OK "
+          f"({len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        if "traceEvents" in doc:
+            check_trace(path, doc)
+        else:
+            check_metrics(path, doc)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
