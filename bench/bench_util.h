@@ -40,6 +40,7 @@ struct EngineFlags
     const bool *preprocess = nullptr;
     const bool *carry = nullptr;
     const bool *inprocess = nullptr;
+    const double *deadlineSeconds = nullptr;
 
     static EngineFlags
     add(FlagSet &flags)
@@ -65,6 +66,11 @@ struct EngineFlags
         engine.inprocess = flags.addBool(
             "inprocess", true,
             "subsumption + vivification between descent steps");
+        engine.deadlineSeconds = flags.addDouble(
+            "deadline-seconds", 0.0,
+            "wall-clock deadline per compilation (<= 0 = none); "
+            "past it the pipeline degrades to its best-so-far "
+            "encoding with status deadline-exceeded");
         storage() = engine;
         return engine;
     }
@@ -93,6 +99,9 @@ struct EngineFlags
         request.preprocess = *preprocess;
         request.carryLearnts = *carry;
         request.inprocess = *inprocess;
+        // Deadlines are a facade/service-level contract; the raw
+        // DescentOptions overload deliberately has no equivalent.
+        request.deadlineSeconds = *deadlineSeconds;
     }
 
     /** The overlay armed by add(), if any (one per binary). */

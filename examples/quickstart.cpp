@@ -7,7 +7,8 @@
  * SAT search (the cache line at the bottom reports it).
  *
  * Usage: quickstart [--modes=3] [--timeout=30] [--strategy=sat]
- *                   [--cache-dir=PATH] [--cache-stats-json=FILE]
+ *                   [--deadline-seconds=0] [--cache-dir=PATH]
+ *                   [--cache-stats-json=FILE]
  */
 
 #include <cstdio>
@@ -37,6 +38,11 @@ main(int argc, char **argv)
     const auto *stats_json = flags.addString(
         "cache-stats-json", "",
         "write cache statistics to this JSON file");
+    const auto *deadline = flags.addDouble(
+        "deadline-seconds", 0.0,
+        "wall-clock deadline per compilation (<= 0 = none); past "
+        "it the pipeline returns its best-so-far encoding with "
+        "status deadline-exceeded");
     const auto tflags = telemetry::TelemetryFlags::add(flags);
     if (!flags.parse(argc, argv))
         return 0;
@@ -53,6 +59,7 @@ main(int argc, char **argv)
     request.modes = n;
     request.stepTimeoutSeconds = *timeout / 3.0;
     request.totalTimeoutSeconds = *timeout;
+    request.deadlineSeconds = *deadline;
 
     // One request per strategy, submitted as one async batch.
     const std::vector<std::string> strategies = {
@@ -69,7 +76,9 @@ main(int argc, char **argv)
                 chosen.strategy.c_str(),
                 chosen.provedOptimal ? "proved optimal"
                 : chosen.fromCache   ? "cached"
-                                     : "best found in budget");
+                : chosen.status != api::ResultStatus::Ok
+                    ? api::resultStatusName(chosen.status)
+                    : "best found in budget");
     for (std::size_t j = 0; j < n; ++j) {
         std::printf("  mode %zu:  gamma[%zu] = %s   gamma[%zu] = %s\n",
                     j, 2 * j,

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CancellationToken: the caller-ownable cancel switch a
+ * CompilationRequest carries. Copies share one flag, so the caller
+ * keeps a copy, hands the request to a Compiler or CompilerService,
+ * and may cancel from any thread at any time; the searches observe
+ * the flag through the existing sat::Budget::stopFlag path at
+ * SAT-step granularity (every budget poll, i.e.\ every solver
+ * decision and every ~1024 conflicts).
+ *
+ * Key invariants:
+ *  - requestCancel() is sticky (no un-cancel), lock-free, and safe
+ *    from any thread, including concurrently with the search.
+ *  - A default-constructed token is valid and never fires; every
+ *    request therefore has one, and flag() is never null.
+ *  - Cancellation degrades, never aborts: the pipeline returns its
+ *    best-so-far (at worst closed-form baseline) encoding with
+ *    ResultStatus::Cancelled.
+ */
+
+#ifndef FERMIHEDRAL_API_CANCELLATION_H
+#define FERMIHEDRAL_API_CANCELLATION_H
+
+#include <atomic>
+#include <memory>
+
+namespace fermihedral::api {
+
+class CancellationToken
+{
+  public:
+    CancellationToken()
+        : state(std::make_shared<std::atomic<bool>>(false))
+    {
+    }
+
+    /** Request cancellation (sticky; observed by all copies). */
+    void
+    requestCancel() const noexcept
+    {
+        state->store(true, std::memory_order_relaxed);
+    }
+
+    /** True once any copy requested cancellation. */
+    bool
+    cancelled() const noexcept
+    {
+        return state->load(std::memory_order_relaxed);
+    }
+
+    /** The raw flag composed into sat::Budget::stopFlag. */
+    const std::atomic<bool> *
+    flag() const noexcept
+    {
+        return state.get();
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> state;
+};
+
+} // namespace fermihedral::api
+
+#endif // FERMIHEDRAL_API_CANCELLATION_H

@@ -18,6 +18,21 @@ objectiveName(Objective objective)
           static_cast<int>(objective));
 }
 
+const char *
+resultStatusName(ResultStatus status)
+{
+    switch (status) {
+      case ResultStatus::Ok: return "ok";
+      case ResultStatus::DeadlineExceeded:
+          return "deadline-exceeded";
+      case ResultStatus::Cancelled: return "cancelled";
+      case ResultStatus::Shed: return "shed";
+      case ResultStatus::Error: return "error";
+    }
+    panic("unhandled ResultStatus value ",
+          static_cast<int>(status));
+}
+
 Objective
 CompilationRequest::resolvedObjective() const
 {
@@ -42,6 +57,8 @@ Compiler::assemble(const CompilationRequest &request,
     result.annealedCost = outcome.annealedCost;
     result.provedOptimal = outcome.provedOptimal;
     result.satCalls = outcome.satCalls;
+    result.status = outcome.status;
+    result.statusMessage = outcome.statusMessage;
     result.strategy = request.strategy;
     result.objective = request.resolvedObjective();
     result.validation = enc::validateEncoding(result.encoding);

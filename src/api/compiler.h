@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cancellation.h"
 #include "core/descent_solver.h"
 #include "encodings/encoding.h"
 #include "fermion/operators.h"
@@ -59,6 +60,29 @@ enum class Objective
 
 /** Printable name of a resolved objective. */
 const char *objectiveName(Objective objective);
+
+/**
+ * How a compilation ended. Everything except Error and Shed still
+ * carries a valid encoding (the degradation ladder: best-so-far SAT
+ * model, else the closed-form Bravyi-Kitaev baseline), so callers
+ * can serve degraded answers instead of failing.
+ */
+enum class ResultStatus
+{
+    /** Full-fidelity result (the only status the caches store). */
+    Ok,
+    /** The request's deadline expired; best-so-far returned. */
+    DeadlineExceeded,
+    /** The caller's CancellationToken fired; best-so-far returned. */
+    Cancelled,
+    /** Rejected by admission control; no search ran, no encoding. */
+    Shed,
+    /** A post-validation failure; statusMessage has the detail. */
+    Error,
+};
+
+/** Printable name of a result status. */
+const char *resultStatusName(ResultStatus status);
 
 /** One compilation problem: spec, strategy, constraints, budgets. */
 struct CompilationRequest
@@ -86,6 +110,26 @@ struct CompilationRequest
 
     /** Wall-clock budget for the whole search (seconds). */
     double totalTimeoutSeconds = 45.0;
+
+    /**
+     * Wall-clock deadline for the whole request (<= 0 = none). The
+     * deadline caps every stage's budget; past it the pipeline
+     * degrades to its best-so-far encoding with
+     * ResultStatus::DeadlineExceeded instead of running on. Under a
+     * CompilerService the clock starts at submit(), so time queued
+     * counts against it. An execution knob like the budgets: NOT
+     * part of the cache identity.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * Caller-ownable cancel switch (see api/cancellation.h). Keep a
+     * copy and requestCancel() from any thread; the search stops at
+     * the next budget poll and returns best-so-far with
+     * ResultStatus::Cancelled. An execution knob: NOT part of the
+     * cache identity.
+     */
+    CancellationToken cancellation;
 
     /** Threads racing each SAT step (0 = hardware concurrency). */
     std::size_t threads = 1;
@@ -148,6 +192,16 @@ struct SearchOutcome
 
     /** SAT solve() calls made (0 for closed-form strategies). */
     std::size_t satCalls = 0;
+
+    /**
+     * Transport metadata, not provenance: how the search ended.
+     * Never serialized — caches only ever store Ok outcomes, so a
+     * parsed outcome's default Ok is correct by construction.
+     */
+    ResultStatus status = ResultStatus::Ok;
+
+    /** Human-readable detail for non-Ok statuses. */
+    std::string statusMessage;
 };
 
 /** The full output of one compilation. */
@@ -195,6 +249,16 @@ struct CompilationResult
     double mappingSeconds = 0.0;
     /** The result came from a CompilerService cache hit. */
     bool fromCache = false;
+    /** The result shared another in-flight request's search. */
+    bool coalesced = false;
+    /**
+     * How the compilation ended (see ResultStatus). Non-Ok results
+     * other than Shed/Error still carry a valid encoding; they are
+     * never cached.
+     */
+    ResultStatus status = ResultStatus::Ok;
+    /** Human-readable detail for non-Ok statuses. */
+    std::string statusMessage;
 };
 
 /**

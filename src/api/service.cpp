@@ -7,6 +7,8 @@
 
 #include "api/serialize.h"
 #include "api/strategy_registry.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/json_writer.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
@@ -22,6 +24,12 @@ struct ServiceMetrics
     telemetry::Counter &cacheHits;
     telemetry::Counter &cacheMisses;
     telemetry::Counter &cacheCorrupted;
+    telemetry::Counter &ok;
+    telemetry::Counter &deadlineExceeded;
+    telemetry::Counter &cancelled;
+    telemetry::Counter &shed;
+    telemetry::Counter &errors;
+    telemetry::Counter &coalesced;
     telemetry::Gauge &queueDepth;
     telemetry::Histogram &latencySeconds;
 
@@ -33,6 +41,12 @@ struct ServiceMetrics
             registry.counter("service.cache.hits"),
             registry.counter("service.cache.misses"),
             registry.counter("service.cache.corrupted"),
+            registry.counter("service.ok"),
+            registry.counter("service.deadline_exceeded"),
+            registry.counter("service.cancelled"),
+            registry.counter("service.shed"),
+            registry.counter("service.errors"),
+            registry.counter("service.coalesced"),
             registry.gauge("service.queue_depth"),
             registry.histogram("service.latency_seconds"),
         };
@@ -51,6 +65,10 @@ fnv1a64(std::string_view text)
     }
     return hash;
 }
+
+/** The disk-entry header prefix (format v2: CRC over the rest). */
+constexpr std::string_view cacheHeaderPrefix =
+    "fermihedral-cache v2 crc32 ";
 
 } // namespace
 
@@ -128,14 +146,46 @@ CompilerService::lookup(const std::string &key)
         return std::nullopt;
     std::ostringstream content;
     content << file.rdbuf();
-    std::string_view text{content.view()};
+    std::string text = std::move(content).str();
+    // Failpoint: corrupt the bytes just read, as a bad sector (or
+    // a non-atomic concurrent writer) would.
+    if (failpoint::fire("service.cache.read.corrupt") &&
+        !text.empty())
+        text[text.size() / 2] =
+            static_cast<char>(text[text.size() / 2] ^ 0x20);
 
-    // First line must restate the canonical key: it guards against
-    // both corruption and (improbable) hash collisions.
+    // Format v2: a header carrying a CRC32 over the remainder,
+    // then the canonical-key echo (guards corruption and
+    // improbable hash collisions), then the outcome. Anything else
+    // — truncated, zero-length, bit-flipped, or a pre-CRC v1 entry
+    // — counts as corrupted and reads as a miss.
     std::optional<SearchOutcome> outcome;
-    const std::string expected = "key " + key + "\n";
-    if (text.substr(0, expected.size()) == expected)
-        outcome = tryParseOutcome(text.substr(expected.size()));
+    const std::string_view view{text};
+    if (view.substr(0, cacheHeaderPrefix.size()) ==
+            cacheHeaderPrefix &&
+        view.size() > cacheHeaderPrefix.size() + 8 &&
+        view[cacheHeaderPrefix.size() + 8] == '\n') {
+        std::uint32_t expected_crc = 0;
+        bool valid_hex = true;
+        for (const char c :
+             view.substr(cacheHeaderPrefix.size(), 8)) {
+            expected_crc <<= 4;
+            if (c >= '0' && c <= '9')
+                expected_crc |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                expected_crc |=
+                    static_cast<std::uint32_t>(c - 'a' + 10);
+            else
+                valid_hex = false;
+        }
+        const std::string_view payload =
+            view.substr(cacheHeaderPrefix.size() + 9);
+        const std::string expected_key = "key " + key + "\n";
+        if (valid_hex && crc32(payload) == expected_crc &&
+            payload.substr(0, expected_key.size()) == expected_key)
+            outcome = tryParseOutcome(
+                payload.substr(expected_key.size()));
+    }
     std::lock_guard lock(cacheMutex);
     if (!outcome) {
         ++stats.corrupted;
@@ -184,6 +234,19 @@ CompilerService::store(const std::string &key,
              options.diskCachePath, "': ", ec.message());
         return;
     }
+    // Format v2: the header's CRC32 covers everything after it, so
+    // a torn or bit-flipped entry is rejected on read even when
+    // the text would still parse.
+    std::string payload = "key " + key + "\n";
+    payload += serializeOutcome(outcome);
+    char header[48];
+    std::snprintf(header, sizeof header,
+                  "fermihedral-cache v2 crc32 %08x\n",
+                  crc32(payload));
+    // Failpoint: a torn write publishes a truncated payload under
+    // an intact header; the read-side CRC must catch it.
+    if (failpoint::fire("service.cache.write.torn"))
+        payload.resize(payload.size() / 2);
     // Write-temp-then-rename: concurrent stores of the same key
     // (two pool threads computing identical requests) each land a
     // complete file; the rename is atomic, so readers never see a
@@ -201,7 +264,17 @@ CompilerService::store(const std::string &key,
                  "'");
             return;
         }
-        file << "key " << key << '\n' << serializeOutcome(outcome);
+        // Failpoint: the write fails mid-entry (disk full); no
+        // entry may be published and the tmp file is cleaned up.
+        if (failpoint::fire("service.cache.write.enospc")) {
+            file.close();
+            std::error_code rm;
+            std::filesystem::remove(tmp_name.str(), rm);
+            warn("encoding cache: cannot write '", tmp_name.str(),
+                 "' (injected ENOSPC)");
+            return;
+        }
+        file << header << payload;
     }
     std::filesystem::rename(tmp_name.str(), path, ec);
     if (ec)
@@ -212,27 +285,158 @@ CompilerService::store(const std::string &key,
 CompilationResult
 CompilerService::compile(const CompilationRequest &request)
 {
+    // Unknown strategy names are caller errors and stay fatal on
+    // the caller's thread; everything past this validation line
+    // degrades to a ResultStatus instead of throwing.
+    makeStrategy(request.strategy);
+    {
+        std::lock_guard lock(cacheMutex);
+        ++serving.submitted;
+    }
+    return guardedCompile(request, 0.0);
+}
+
+CompilationResult
+CompilerService::guardedCompile(const CompilationRequest &request,
+                                double queue_wait_seconds)
+{
+    try {
+        return compileImpl(request, queue_wait_seconds);
+    } catch (const std::exception &error) {
+        CompilationResult result;
+        result.strategy = request.strategy;
+        result.status = ResultStatus::Error;
+        result.statusMessage = error.what();
+        recordStatus(ResultStatus::Error);
+        return result;
+    } catch (...) {
+        CompilationResult result;
+        result.strategy = request.strategy;
+        result.status = ResultStatus::Error;
+        result.statusMessage = "unknown failure";
+        recordStatus(ResultStatus::Error);
+        return result;
+    }
+}
+
+CompilationResult
+CompilerService::finishResult(const CompilationRequest &request,
+                              const SearchOutcome &outcome)
+{
+    CompilationResult result = Compiler::assemble(request, outcome);
+    recordStatus(result.status);
+    return result;
+}
+
+CompilationResult
+CompilerService::compileImpl(const CompilationRequest &request,
+                             double queue_wait_seconds)
+{
     telemetry::TraceSpan span("service.compile");
     if (span.active())
         span.arg("strategy", request.strategy);
     const std::string key = canonicalRequestKey(request);
+    // The cache is consulted before the deadline: a warm hit is
+    // effectively free, so it is served full-fidelity even when
+    // the request over-waited in the queue.
     if (auto cached = lookup(key)) {
-        CompilationResult result =
-            Compiler::assemble(request, *cached);
+        CompilationResult result = finishResult(request, *cached);
         result.fromCache = true;
         if (span.active())
             span.arg("cached", true);
         return result;
     }
 
+    // A deadline keeps ticking while the request waits in the
+    // submit queue; a request that spent its whole deadline queued
+    // degrades to the closed-form baseline without searching.
+    double remaining_deadline = request.deadlineSeconds;
+    if (request.deadlineSeconds > 0.0) {
+        remaining_deadline =
+            request.deadlineSeconds - queue_wait_seconds;
+        if (remaining_deadline <= 0.0)
+            return finishResult(
+                request,
+                baselineOutcome(request,
+                                ResultStatus::DeadlineExceeded,
+                                "deadline expired while queued"));
+    }
+    if (request.cancellation.cancelled())
+        return finishResult(
+            request,
+            baselineOutcome(request, ResultStatus::Cancelled,
+                            "cancelled before the search started"));
+
+    // Coalescing: the first request in becomes the leader and runs
+    // the search; identical concurrent specs wait for its outcome
+    // instead of duplicating the SAT work.
+    std::shared_ptr<InflightSearch> entry;
+    bool leader = false;
+    {
+        std::lock_guard lock(inflightMutex);
+        auto [it, inserted] = inflight.try_emplace(key);
+        if (inserted) {
+            it->second = std::make_shared<InflightSearch>();
+            it->second->future =
+                it->second->promise.get_future().share();
+            leader = true;
+        }
+        entry = it->second;
+    }
+    if (!leader) {
+        {
+            std::lock_guard lock(cacheMutex);
+            ++serving.coalesced;
+        }
+        ServiceMetrics::get().coalesced.add();
+        if (span.active())
+            span.arg("coalesced", true);
+        // A follower only ever waits for a leader that is already
+        // running (or done) — never the other way round — so
+        // coalescing cannot deadlock the pool. A leader failure
+        // rethrows here and guardedCompile converts it.
+        const auto shared = entry->future.get();
+        CompilationResult result = finishResult(request, *shared);
+        result.coalesced = true;
+        return result;
+    }
+
     Timer timer;
-    const auto strategy = makeStrategy(request.strategy);
-    const SearchOutcome outcome = strategy->search(request);
+    std::shared_ptr<SearchOutcome> outcome;
+    try {
+        const auto strategy = makeStrategy(request.strategy);
+        if (remaining_deadline != request.deadlineSeconds) {
+            // Shrink the deadline by the time already queued. The
+            // copy is only taken on this (deadline-carrying) path.
+            CompilationRequest effective = request;
+            effective.deadlineSeconds = remaining_deadline;
+            outcome = std::make_shared<SearchOutcome>(
+                strategy->search(effective));
+        } else {
+            outcome = std::make_shared<SearchOutcome>(
+                strategy->search(request));
+        }
+    } catch (...) {
+        {
+            std::lock_guard lock(inflightMutex);
+            inflight.erase(key);
+        }
+        entry->promise.set_exception(std::current_exception());
+        throw;
+    }
     const double search_seconds = timer.seconds();
+    entry->promise.set_value(outcome);
+    {
+        std::lock_guard lock(inflightMutex);
+        inflight.erase(key);
+    }
+
     {
         std::lock_guard lock(cacheMutex);
         ++stats.misses;
         ++stats.computes;
+        if (outcome->status != ResultStatus::Ok)
+            ++serving.degraded;
     }
     ServiceMetrics::get().cacheMisses.add();
     // Per-strategy compile counter: the name lookup takes the
@@ -242,10 +446,40 @@ CompilerService::compile(const CompilationRequest &request)
         .add();
     if (span.active())
         span.arg("cached", false);
-    store(key, outcome);
-    CompilationResult result = Compiler::assemble(request, outcome);
+    // Degraded outcomes are never cached: a later request with a
+    // healthier budget must get the chance to do better.
+    if (outcome->status == ResultStatus::Ok)
+        store(key, *outcome);
+    CompilationResult result = finishResult(request, *outcome);
     result.searchSeconds = search_seconds;
     return result;
+}
+
+void
+CompilerService::recordStatus(ResultStatus status)
+{
+    {
+        std::lock_guard lock(cacheMutex);
+        switch (status) {
+          case ResultStatus::Ok: ++serving.ok; break;
+          case ResultStatus::DeadlineExceeded:
+              ++serving.deadlineExceeded;
+              break;
+          case ResultStatus::Cancelled: ++serving.cancelled; break;
+          case ResultStatus::Shed: ++serving.shed; break;
+          case ResultStatus::Error: ++serving.errors; break;
+        }
+    }
+    auto &metrics = ServiceMetrics::get();
+    switch (status) {
+      case ResultStatus::Ok: metrics.ok.add(); break;
+      case ResultStatus::DeadlineExceeded:
+          metrics.deadlineExceeded.add();
+          break;
+      case ResultStatus::Cancelled: metrics.cancelled.add(); break;
+      case ResultStatus::Shed: metrics.shed.add(); break;
+      case ResultStatus::Error: metrics.errors.add(); break;
+    }
 }
 
 std::future<CompilationResult>
@@ -254,9 +488,13 @@ CompilerService::submit(CompilationRequest request)
     // Fail fast on unknown strategies (with the nearest-name
     // suggestion) instead of burying the diagnostic in a future.
     makeStrategy(request.strategy);
+    {
+        std::lock_guard lock(cacheMutex);
+        ++serving.submitted;
+    }
 
     auto &metrics = ServiceMetrics::get();
-    metrics.queueDepth.add(1);
+    const std::string strategy_name = request.strategy;
     const std::uint64_t submitted_ns = Timer::nowNs();
     std::packaged_task<CompilationResult()> task(
         [this, submitted_ns, request = std::move(request)] {
@@ -274,15 +512,54 @@ CompilerService::submit(CompilationRequest request)
                         1e-9);
                 }
             } guard{submitted_ns, m.latencySeconds};
-            return compile(request);
+            const double queue_wait =
+                static_cast<double>(Timer::nowNs() -
+                                    submitted_ns) *
+                1e-9;
+            // Failpoint: a worker dying on the request must
+            // surface as an Error result through the future —
+            // never a broken promise, never an abort.
+            if (failpoint::fire("service.dispatch.fail")) {
+                CompilationResult result;
+                result.strategy = request.strategy;
+                result.status = ResultStatus::Error;
+                result.statusMessage =
+                    "injected fault: service.dispatch.fail";
+                recordStatus(ResultStatus::Error);
+                return result;
+            }
+            return guardedCompile(request, queue_wait);
         });
-    auto future = task.get_future();
+
+    // Admission control: reject-newest once the queue is at depth.
+    bool shed = false;
+    std::future<CompilationResult> future;
     {
         std::lock_guard lock(queueMutex);
         require(!stopping,
                 "CompilerService::submit after shutdown began");
-        queue.push_back(std::move(task));
+        if (options.maxQueueDepth > 0 &&
+            queue.size() >= options.maxQueueDepth) {
+            shed = true;
+        } else {
+            future = task.get_future();
+            queue.push_back(std::move(task));
+        }
     }
+    if (shed) {
+        recordStatus(ResultStatus::Shed);
+        CompilationResult result;
+        result.strategy = strategy_name;
+        result.status = ResultStatus::Shed;
+        result.statusMessage =
+            "submit queue full (depth " +
+            std::to_string(options.maxQueueDepth) +
+            "); request shed";
+        std::promise<CompilationResult> ready;
+        ready.set_value(std::move(result));
+        return ready.get_future();
+    }
+    metrics.queueDepth.add(1);
     queueCv.notify_one();
     return future;
 }
@@ -320,7 +597,9 @@ CompilerService::dispatcherLoop()
             queue.clear();
         }
         // packaged_task stores exceptions in its future, so tasks
-        // never throw across the pool (its documented contract).
+        // never throw across the pool (its documented contract) —
+        // and with guardedCompile they no longer store exceptions
+        // either: every failure is an Error-status result.
         pool.forEach(batch.size(), [&batch](std::size_t index) {
             batch[index]();
         });
@@ -332,6 +611,13 @@ CompilerService::cacheStats() const
 {
     std::lock_guard lock(cacheMutex);
     return stats;
+}
+
+ServiceStats
+CompilerService::serviceStats() const
+{
+    std::lock_guard lock(cacheMutex);
+    return serving;
 }
 
 std::string

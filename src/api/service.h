@@ -5,36 +5,62 @@
  * ThreadPool plus a content-addressed encoding cache (in-memory
  * LRU, optional on-disk store), so repeated requests for an
  * already-solved (modes, objective, constraints) spec skip the SAT
- * search entirely.
+ * search entirely. On top of that sits the fault-tolerant serving
+ * core: per-request deadlines and cancellation, graceful
+ * degradation to best-so-far encodings (typed ResultStatus instead
+ * of exceptions), bounded-queue admission control with
+ * reject-newest load shedding, and in-flight coalescing of
+ * identical concurrent specs.
  *
  * Cache identity. canonicalRequestKey() renders the parts of a
  * request the built-in strategies' searches consume: strategy name,
  * resolved objective, mode count, constraint toggles, and — for
  * Hamiltonian-dependent objectives — the Eq. 14 cost structure
  * (Majorana subset masks with multiplicities). Execution knobs
- * (budgets, threads, determinism, preprocessing) are deliberately
- * NOT part of the identity: once a spec is solved, later requests
- * reuse the encoding whatever budget they carried. A custom
- * strategy whose search depends on data outside the key (e.g.\ raw
- * term coefficients) should run with caching disabled
- * (cacheCapacity = 0 and no disk path).
+ * (budgets, deadline, cancellation, threads, determinism,
+ * preprocessing) are deliberately NOT part of the identity: once a
+ * spec is solved, later requests reuse the encoding whatever budget
+ * they carried. A custom strategy whose search depends on data
+ * outside the key (e.g.\ raw term coefficients) should run with
+ * caching disabled (cacheCapacity = 0 and no disk path).
+ *
+ * Failure model (docs/ARCHITECTURE.md, "Failure model"):
+ *  - compile()/submit() return a CompilationResult for every
+ *    accepted request; result.status says how it ended. Degraded
+ *    results (DeadlineExceeded, Cancelled) still carry a valid
+ *    encoding — at worst the closed-form Bravyi-Kitaev baseline —
+ *    and are never cached. Shed results carry no encoding.
+ *  - Unknown strategy names are fatal at compile()/submit()
+ *    validation, on the caller's thread. Every post-validation
+ *    failure surfaces as ResultStatus::Error through the returned
+ *    result/future — never an exception from future.get(), never
+ *    abort().
+ *  - On-disk entries are CRC-checked (format v2); torn, truncated,
+ *    zero-length, bit-flipped or version-mismatched entries are
+ *    counted (CacheStats::corrupted), treated as misses, then
+ *    overwritten by the recomputed entry.
  *
  * Key invariants:
  *  - A cache hit reproduces the original CompilationResult
  *    bit-identically in every serialized field (the stored payload
  *    is the SearchOutcome; mapping and grouping are re-derived
  *    deterministically) with fromCache = true and no strategy
- *    execution — cacheStats().computes does not move.
- *  - Corrupted or version-mismatched on-disk entries are counted
- *    (CacheStats::corrupted) and treated as misses, then
- *    overwritten by the recomputed entry; they never abort.
+ *    execution — cacheStats().computes does not move. Only Ok
+ *    outcomes are ever stored.
  *  - submit() never runs work on the caller's thread; tasks are
  *    drained by one dispatcher thread that fans each batch over
  *    the service's ThreadPool (the pool's one-loop-at-a-time
- *    contract is respected). Failures surface through the future.
- *    Identical requests in flight at the same moment are NOT
- *    deduplicated — each computes (first store wins; disk entries
- *    are published by atomic rename, so none is ever torn).
+ *    contract is respected).
+ *  - Identical requests in flight at the same moment are
+ *    coalesced: the first becomes the leader and runs the search,
+ *    the rest block on its outcome and assemble their own results
+ *    from it (ServiceStats::coalesced counts the followers).
+ *    Leaders never wait on followers, so coalescing cannot
+ *    deadlock the pool; disk entries are published by atomic
+ *    rename, so none is ever torn.
+ *  - With maxQueueDepth > 0, submit() sheds the newest request
+ *    once the queue is full: the returned future is immediately
+ *    ready with ResultStatus::Shed and no work is queued.
  *  - The destructor drains every submitted task before returning,
  *    so futures obtained from submit() never dangle.
  */
@@ -46,6 +72,7 @@
 #include <deque>
 #include <future>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -75,6 +102,15 @@ struct ServiceOptions
      * directory is created on first write.
      */
     std::string diskCachePath;
+
+    /**
+     * Admission control: maximum requests waiting in the submit
+     * queue (0 = unbounded). When the queue is full, submit()
+     * rejects the newest request with ResultStatus::Shed instead
+     * of queueing it — bounded memory and bounded queueing delay
+     * under overload.
+     */
+    std::size_t maxQueueDepth = 0;
 };
 
 /** Cache behaviour counters. */
@@ -96,6 +132,28 @@ struct CacheStats
     std::size_t corrupted = 0;
 };
 
+/**
+ * Per-status serving counters (this service instance only; the
+ * process-wide equivalents live in the telemetry registry under
+ * service.ok / service.deadline_exceeded / service.cancelled /
+ * service.shed / service.errors / service.coalesced).
+ */
+struct ServiceStats
+{
+    /** Requests accepted by compile()/submit(), shed included. */
+    std::size_t submitted = 0;
+    /** Results returned, by final status. */
+    std::size_t ok = 0;
+    std::size_t deadlineExceeded = 0;
+    std::size_t cancelled = 0;
+    std::size_t shed = 0;
+    std::size_t errors = 0;
+    /** Followers that shared an in-flight leader's search. */
+    std::size_t coalesced = 0;
+    /** Non-Ok search outcomes (computed but never cached). */
+    std::size_t degraded = 0;
+};
+
 /** The cached, batching compilation service (see file docs). */
 class CompilerService
 {
@@ -108,7 +166,8 @@ class CompilerService
 
     /**
      * Compile synchronously on the caller's thread, consulting the
-     * cache first. Thread-safe.
+     * cache first. Thread-safe. Unknown strategy names are fatal;
+     * any later failure comes back as ResultStatus::Error.
      */
     CompilationResult compile(const CompilationRequest &request);
 
@@ -116,7 +175,9 @@ class CompilerService
      * Enqueue a request for asynchronous compilation on the
      * service's thread pool. The strategy name is validated here
      * (fatal on unknown names); all later failures surface through
-     * the returned future.
+     * the returned future as ResultStatus::Error results —
+     * future.get() never throws. A full queue (maxQueueDepth)
+     * returns an immediately-ready ResultStatus::Shed result.
      */
     std::future<CompilationResult> submit(CompilationRequest request);
 
@@ -127,6 +188,9 @@ class CompilerService
     /** Snapshot of the cache counters. */
     CacheStats cacheStats() const;
 
+    /** Snapshot of the per-status serving counters. */
+    ServiceStats serviceStats() const;
+
     /** The counters as a single-line JSON object (CI artifacts). */
     std::string cacheStatsJson() const;
 
@@ -134,8 +198,8 @@ class CompilerService
      * The process-wide telemetry registry rendered as one JSON
      * object (common/telemetry.h) — queue depth, submit-to-complete
      * latency percentiles, per-strategy compile counters, cache
-     * counters, solver counters. The deployable-service metrics
-     * endpoint the roadmap asks for.
+     * counters, shed/cancel/coalesce counters, solver counters. The
+     * deployable-service metrics endpoint the roadmap asks for.
      */
     static std::string metricsJson();
 
@@ -154,6 +218,14 @@ class CompilerService
     };
     using LruList = std::list<CacheEntry>;
 
+    /** One in-flight search shared by coalesced requests. */
+    struct InflightSearch
+    {
+        std::promise<std::shared_ptr<const SearchOutcome>> promise;
+        std::shared_future<std::shared_ptr<const SearchOutcome>>
+            future;
+    };
+
     /** Cache lookup (memory, then disk). nullopt = miss. */
     std::optional<SearchOutcome> lookup(const std::string &key);
 
@@ -166,6 +238,22 @@ class CompilerService
 
     std::string diskEntryPath(const std::string &key) const;
 
+    /** compileImpl with every failure folded into an Error result. */
+    CompilationResult guardedCompile(
+        const CompilationRequest &request,
+        double queue_wait_seconds);
+
+    /** The full serve path: cache, deadline, coalesce, search. */
+    CompilationResult compileImpl(const CompilationRequest &request,
+                                  double queue_wait_seconds);
+
+    /** Assemble + per-status accounting for a finished outcome. */
+    CompilationResult finishResult(const CompilationRequest &request,
+                                   const SearchOutcome &outcome);
+
+    /** Bump the per-status counters (instance + telemetry). */
+    void recordStatus(ResultStatus status);
+
     void dispatcherLoop();
 
     ServiceOptions options;
@@ -174,6 +262,11 @@ class CompilerService
     LruList lru;
     std::unordered_map<std::string, LruList::iterator> lruIndex;
     CacheStats stats;
+    ServiceStats serving;
+
+    std::mutex inflightMutex;
+    std::unordered_map<std::string, std::shared_ptr<InflightSearch>>
+        inflight;
 
     ThreadPool pool;
     std::mutex queueMutex;

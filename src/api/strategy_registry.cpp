@@ -35,6 +35,108 @@ baselineValue(const CompilationRequest &request)
         request, enc::bravyiKitaev(request.resolvedModes()));
 }
 
+/**
+ * Wall-clock deadline state for one strategy run. The clock starts
+ * at construction (strategy entry); cap() shrinks a stage budget to
+ * whatever the deadline leaves, so a multi-stage pipeline can never
+ * overrun it by more than one budget poll.
+ */
+class DeadlineClock
+{
+  public:
+    explicit DeadlineClock(double deadline_seconds)
+        : deadlineSeconds(deadline_seconds)
+    {
+    }
+
+    bool
+    enabled() const
+    {
+        return deadlineSeconds > 0.0;
+    }
+
+    double
+    remaining() const
+    {
+        return deadlineSeconds - timer.seconds();
+    }
+
+    bool
+    expired() const
+    {
+        return enabled() && remaining() <= 0.0;
+    }
+
+    double
+    cap(double budget_seconds) const
+    {
+        if (!enabled())
+            return budget_seconds;
+        return std::min(budget_seconds,
+                        std::max(remaining(), 0.0));
+    }
+
+  private:
+    Timer timer;
+    double deadlineSeconds;
+};
+
+/**
+ * Map a descent's termination to the result status. A budget that
+ * ran out on its own is a normal anytime answer (Ok); only the
+ * caller-visible limits (deadline, cancellation) are reported.
+ */
+ResultStatus
+statusFor(core::DescentTermination termination,
+          const DeadlineClock &clock)
+{
+    if (termination == core::DescentTermination::Cancelled)
+        return ResultStatus::Cancelled;
+    if (termination == core::DescentTermination::BudgetExhausted &&
+        clock.expired())
+        return ResultStatus::DeadlineExceeded;
+    return ResultStatus::Ok;
+}
+
+const char *
+statusDetail(ResultStatus status)
+{
+    if (status == ResultStatus::Cancelled)
+        return "cancelled mid-search; best-so-far encoding returned";
+    if (status == ResultStatus::DeadlineExceeded)
+        return "deadline exceeded; best-so-far encoding returned";
+    return "";
+}
+
+/**
+ * Degrade a Hamiltonian-dependent pipeline that was cut short after
+ * its independent stage: keep the cheaper of the stage's encoding
+ * and the Bravyi-Kitaev baseline under the real (Hamiltonian)
+ * objective. Both are valid, so a degraded answer always is.
+ */
+SearchOutcome
+degradeAfterIndependent(const CompilationRequest &request,
+                        const core::DescentResult &indep,
+                        ResultStatus status)
+{
+    SearchOutcome outcome;
+    outcome.baselineCost = baselineValue(request);
+    const std::size_t indep_cost =
+        objectiveValue(request, indep.encoding);
+    if (indep_cost <= outcome.baselineCost) {
+        outcome.encoding = indep.encoding;
+        outcome.cost = indep_cost;
+    } else {
+        outcome.encoding =
+            enc::bravyiKitaev(request.resolvedModes());
+        outcome.cost = outcome.baselineCost;
+    }
+    outcome.satCalls = indep.satCalls;
+    outcome.status = status;
+    outcome.statusMessage = statusDetail(status);
+    return outcome;
+}
+
 /** A closed-form baseline wrapped as a strategy. */
 class ClosedFormStrategy final : public EncodingStrategy
 {
@@ -74,6 +176,7 @@ descentOptions(const CompilationRequest &request,
     options.carryLearnts = request.carryLearnts;
     options.inprocess = request.inprocess;
     options.progress = request.progress;
+    options.stopFlag = request.cancellation.flag();
     return options;
 }
 
@@ -96,37 +199,52 @@ class SatStrategy final : public EncodingStrategy
     {
         const bool with_alg =
             algebraicIndependence && request.algebraicIndependence;
+        const DeadlineClock clock(request.deadlineSeconds);
         SearchOutcome outcome;
         if (request.resolvedObjective() == Objective::TotalWeight) {
-            core::DescentSolver solver(
-                request.resolvedModes(),
-                descentOptions(request, with_alg));
+            auto options = descentOptions(request, with_alg);
+            options.totalTimeoutSeconds =
+                clock.cap(options.totalTimeoutSeconds);
+            core::DescentSolver solver(request.resolvedModes(),
+                                       options);
             const auto result = solver.solve();
             outcome.encoding = result.encoding;
             outcome.cost = result.cost;
             outcome.baselineCost = result.baselineCost;
             outcome.provedOptimal = result.provedOptimal;
             outcome.satCalls = result.satCalls;
+            outcome.status = statusFor(result.termination, clock);
+            outcome.statusMessage = statusDetail(outcome.status);
             return outcome;
         }
 
         // The whole pipeline shares request.totalTimeoutSeconds:
         // half for the independent solve, whatever actually
         // remains for the seeded dependent solve (an early
-        // optimality proof hands its leftover budget on).
+        // optimality proof hands its leftover budget on). A
+        // deadline additionally caps every stage and short-circuits
+        // the pipeline down the degradation ladder.
         Timer timer;
         const auto &h = *request.hamiltonian;
         auto indep_options = descentOptions(request, with_alg);
         indep_options.stepTimeoutSeconds /= 2.0;
-        indep_options.totalTimeoutSeconds /= 2.0;
+        indep_options.totalTimeoutSeconds =
+            clock.cap(indep_options.totalTimeoutSeconds / 2.0);
         core::DescentSolver indep_solver(h.modes(), indep_options);
         const auto indep = indep_solver.solve();
+        if (indep.termination ==
+            core::DescentTermination::Cancelled)
+            return degradeAfterIndependent(
+                request, indep, ResultStatus::Cancelled);
+        if (clock.expired())
+            return degradeAfterIndependent(
+                request, indep, ResultStatus::DeadlineExceeded);
         const auto annealed =
             core::annealPairing(indep.encoding, h);
 
         auto full_options = descentOptions(request, with_alg);
-        full_options.totalTimeoutSeconds = std::max(
-            request.totalTimeoutSeconds - timer.seconds(), 0.0);
+        full_options.totalTimeoutSeconds = clock.cap(std::max(
+            request.totalTimeoutSeconds - timer.seconds(), 0.0));
         full_options.seedEncoding = annealed.encoding;
         core::DescentSolver full_solver(h, full_options);
         const auto full = full_solver.solve();
@@ -142,6 +260,8 @@ class SatStrategy final : public EncodingStrategy
             outcome.encoding = annealed.encoding;
             outcome.cost = annealed.finalCost;
         }
+        outcome.status = statusFor(full.termination, clock);
+        outcome.statusMessage = statusDetail(outcome.status);
         return outcome;
     }
 
@@ -176,11 +296,20 @@ class SatAnnealingStrategy final : public EncodingStrategy
                   "objective on Auto)");
         const auto &h = *request.hamiltonian;
 
-        core::DescentSolver solver(
-            h.modes(),
-            descentOptions(request,
-                           request.algebraicIndependence));
+        const DeadlineClock clock(request.deadlineSeconds);
+        auto options =
+            descentOptions(request, request.algebraicIndependence);
+        options.totalTimeoutSeconds =
+            clock.cap(options.totalTimeoutSeconds);
+        core::DescentSolver solver(h.modes(), options);
         const auto indep = solver.solve();
+        if (indep.termination ==
+            core::DescentTermination::Cancelled)
+            return degradeAfterIndependent(
+                request, indep, ResultStatus::Cancelled);
+        if (clock.expired())
+            return degradeAfterIndependent(
+                request, indep, ResultStatus::DeadlineExceeded);
 
         const auto annealed_sat =
             core::annealPairing(indep.encoding, h);
@@ -289,6 +418,20 @@ registeredStrategyNames()
     for (const auto &[name, factory] : r.factories)
         names.push_back(name);
     return names; // std::map iteration is already sorted
+}
+
+SearchOutcome
+baselineOutcome(const CompilationRequest &request,
+                ResultStatus status, std::string message)
+{
+    SearchOutcome outcome;
+    outcome.encoding =
+        enc::bravyiKitaev(request.resolvedModes());
+    outcome.cost = objectiveValue(request, outcome.encoding);
+    outcome.baselineCost = outcome.cost;
+    outcome.status = status;
+    outcome.statusMessage = std::move(message);
+    return outcome;
 }
 
 } // namespace fermihedral::api

@@ -79,6 +79,17 @@ std::unique_ptr<EncodingStrategy> makeStrategy(
 /** All registered names, sorted. */
 std::vector<std::string> registeredStrategyNames();
 
+/**
+ * The last rung of the degradation ladder: the closed-form
+ * Bravyi-Kitaev baseline under the request's resolved objective,
+ * tagged with a non-Ok `status` and `message`. Used by the serving
+ * layer when a request expires or is cancelled before any search
+ * ran (degraded results are never cached).
+ */
+SearchOutcome baselineOutcome(const CompilationRequest &request,
+                              ResultStatus status,
+                              std::string message);
+
 } // namespace fermihedral::api
 
 #endif // FERMIHEDRAL_API_STRATEGY_REGISTRY_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte
+ * string. Used by the on-disk encoding cache to detect torn or
+ * bit-flipped entries that a line-oriented parser alone could miss
+ * (e.g.\ a flipped bit inside a hexfloat coefficient still parses).
+ */
+
+#ifndef FERMIHEDRAL_COMMON_CRC32_H
+#define FERMIHEDRAL_COMMON_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace fermihedral {
+
+inline std::uint32_t
+crc32(std::string_view data)
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data)
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+              (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace fermihedral
+
+#endif // FERMIHEDRAL_COMMON_CRC32_H

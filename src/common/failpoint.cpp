@@ -1,0 +1,225 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace fermihedral::failpoint {
+
+namespace {
+
+enum class Mode
+{
+    Always,
+    Times,
+    After,
+    Every,
+};
+
+struct Entry
+{
+    Mode mode = Mode::Always;
+    std::uint64_t param = 0;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+/** Parse a firing spec; nullopt means "off" (disarm). */
+std::optional<Entry>
+parseSpec(std::string_view name, std::string_view spec)
+{
+    auto counted = [&](Mode mode,
+                       std::string_view text) -> Entry {
+        std::uint64_t value = 0;
+        bool any = false;
+        for (const char c : text) {
+            if (c < '0' || c > '9' || text.size() > 18)
+                fatal("failpoint '", name, "': malformed count in "
+                      "spec '", spec, "'");
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+            any = true;
+        }
+        if (!any || (mode != Mode::After && value == 0))
+            fatal("failpoint '", name, "': malformed count in "
+                  "spec '", spec, "'");
+        Entry entry;
+        entry.mode = mode;
+        entry.param = value;
+        return entry;
+    };
+    if (spec == "off")
+        return std::nullopt;
+    if (spec == "always")
+        return Entry{Mode::Always, 0};
+    if (spec == "once")
+        return Entry{Mode::Times, 1};
+    if (spec.substr(0, 6) == "times:")
+        return counted(Mode::Times, spec.substr(6));
+    if (spec.substr(0, 6) == "after:")
+        return counted(Mode::After, spec.substr(6));
+    if (spec.substr(0, 6) == "every:")
+        return counted(Mode::Every, spec.substr(6));
+    fatal("failpoint '", name, "': unknown spec '", spec,
+          "' (expected always|once|times:N|after:N|every:N|off)");
+}
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Entry, std::less<>> entries;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+armOne(Registry &r, std::string_view name, std::string_view spec)
+{
+    if (name.empty())
+        fatal("failpoint: empty name in spec '", spec, "'");
+    const std::optional<Entry> entry = parseSpec(name, spec);
+    std::lock_guard lock(r.mutex);
+    const auto it = r.entries.find(name);
+    if (!entry) {
+        if (it != r.entries.end()) {
+            r.entries.erase(it);
+            detail::armedCount.fetch_sub(
+                1, std::memory_order_relaxed);
+        }
+        return;
+    }
+    if (it == r.entries.end()) {
+        r.entries.emplace(std::string(name), *entry);
+        detail::armedCount.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        it->second = *entry; // re-spec resets the counters
+    }
+}
+
+void
+armList(Registry &r, std::string_view csv)
+{
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t end = csv.find(',', start);
+        if (end == std::string_view::npos)
+            end = csv.size();
+        const std::string_view item =
+            csv.substr(start, end - start);
+        if (!item.empty()) {
+            const std::size_t eq = item.find('=');
+            if (eq == std::string_view::npos)
+                fatal("failpoint: malformed entry '", item,
+                      "' (expected name=spec)");
+            armOne(r, item.substr(0, eq), item.substr(eq + 1));
+        }
+        start = end + 1;
+    }
+}
+
+/**
+ * Environment arming runs at load time so every binary honours
+ * FERMIHEDRAL_FAILPOINTS without any call-site opt-in.
+ */
+const bool envArmed = [] {
+    if (const char *env = std::getenv("FERMIHEDRAL_FAILPOINTS"))
+        armList(registry(), env);
+    return true;
+}();
+
+} // namespace
+
+namespace detail {
+
+bool
+fireSlow(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mutex);
+    const auto it = r.entries.find(name);
+    if (it == r.entries.end())
+        return false;
+    Entry &entry = it->second;
+    ++entry.evaluations;
+    bool fired = false;
+    switch (entry.mode) {
+      case Mode::Always: fired = true; break;
+      case Mode::Times: fired = entry.fires < entry.param; break;
+      case Mode::After: fired = entry.evaluations > entry.param;
+          break;
+      case Mode::Every:
+          fired = entry.evaluations % entry.param == 0;
+          break;
+    }
+    if (fired)
+        ++entry.fires;
+    return fired;
+}
+
+} // namespace detail
+
+void
+arm(std::string_view name, std::string_view spec)
+{
+    armOne(registry(), name, spec);
+}
+
+void
+disarm(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mutex);
+    const auto it = r.entries.find(name);
+    if (it == r.entries.end())
+        return;
+    r.entries.erase(it);
+    detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mutex);
+    detail::armedCount.fetch_sub(r.entries.size(),
+                                 std::memory_order_relaxed);
+    r.entries.clear();
+}
+
+void
+armFromSpec(std::string_view csv)
+{
+    armList(registry(), csv);
+}
+
+FailpointCounts
+counts(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mutex);
+    const auto it = r.entries.find(name);
+    if (it == r.entries.end())
+        return {};
+    return {it->second.evaluations, it->second.fires};
+}
+
+std::vector<std::string>
+armedNames()
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.entries.size());
+    for (const auto &[name, entry] : r.entries)
+        names.push_back(name);
+    return names; // std::map iteration is already sorted
+}
+
+} // namespace fermihedral::failpoint

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic fault injection: a process-wide registry of named
+ * failpoints that production code queries with fire() at the places
+ * faults are worth rehearsing (disk-cache writes, the service
+ * dispatcher, the solver budget poll). Tests and operators arm a
+ * failpoint with a deterministic firing spec; everything stays
+ * inert otherwise.
+ *
+ * Zero-cost when disabled, like telemetry::TraceSpan: with nothing
+ * armed, fire() is a single relaxed atomic load of a global armed
+ * count — safe to keep on hot paths such as Solver::budgetExpired.
+ * Armed failpoints take a registry mutex per evaluation, which only
+ * fault-injection runs pay.
+ *
+ * Firing specs (all counter-based — no randomness, so runs are
+ * reproducible):
+ *
+ *   always      fire on every evaluation
+ *   once        fire on the first evaluation only (= times:1)
+ *   times:N     fire on the first N evaluations
+ *   after:N     fire on every evaluation past the first N
+ *   every:N     fire on every Nth evaluation (N >= 1)
+ *   off         disarm (accepted for env-var convenience)
+ *
+ * Arming sources:
+ *  - programmatic: arm("service.cache.write.torn", "always");
+ *  - environment:  FERMIHEDRAL_FAILPOINTS="name=spec,name=spec",
+ *    parsed once at process start, so any binary can run under
+ *    injected faults without a recompile.
+ *
+ * Failpoints compiled into the repo today:
+ *
+ *   service.cache.write.torn    publish a truncated disk entry
+ *   service.cache.write.enospc  fail the disk write (no entry)
+ *   service.cache.read.corrupt  flip a byte in the entry just read
+ *   service.dispatch.fail       fail the dispatched request
+ *   sat.budget.expire           force the budget poll to expire
+ *
+ * Key invariants:
+ *  - fire() of a name that is not armed returns false and mutates
+ *    nothing; arming unknown names is allowed (the registry is
+ *    open — a name is just a string agreed with the call site).
+ *  - Malformed specs are fatal diagnostics (FatalError), both from
+ *    arm() and from the environment variable.
+ *  - Counters (evaluations/fires) are exact under concurrency; the
+ *    per-thread interleaving of `every:N` is the only source of
+ *    nondeterminism, and only when multiple threads share a name.
+ */
+
+#ifndef FERMIHEDRAL_COMMON_FAILPOINT_H
+#define FERMIHEDRAL_COMMON_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fermihedral::failpoint {
+
+namespace detail {
+
+/** Armed-failpoint count; nonzero routes fire() to the registry. */
+inline std::atomic<std::size_t> armedCount{0};
+
+bool fireSlow(std::string_view name);
+
+} // namespace detail
+
+/**
+ * True when the named failpoint is armed and its spec fires on this
+ * evaluation. The caller then injects its fault.
+ */
+inline bool
+fire(std::string_view name)
+{
+    if (detail::armedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    return detail::fireSlow(name);
+}
+
+/** Arm (or re-spec) a failpoint. Malformed specs are fatal. */
+void arm(std::string_view name, std::string_view spec);
+
+/** Disarm one failpoint (drops its counters). No-op if unknown. */
+void disarm(std::string_view name);
+
+/** Disarm everything (test teardown). */
+void disarmAll();
+
+/**
+ * Arm from a comma-separated "name=spec,name=spec" list — the
+ * FERMIHEDRAL_FAILPOINTS grammar. Malformed entries are fatal.
+ */
+void armFromSpec(std::string_view csv);
+
+/** Evaluation/fire counters of one armed failpoint. */
+struct FailpointCounts
+{
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+/** Counters for `name` (zeros when not armed). */
+FailpointCounts counts(std::string_view name);
+
+/** Names currently armed, sorted. */
+std::vector<std::string> armedNames();
+
+} // namespace fermihedral::failpoint
+
+#endif // FERMIHEDRAL_COMMON_FAILPOINT_H

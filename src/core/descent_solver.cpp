@@ -118,6 +118,29 @@ DescentSolver::solve()
     result.encoding = start;
     result.cost = start_cost;
 
+    // Degenerate-budget / pre-cancelled fast path: the start
+    // encoding is already the answer, so skip solver and model
+    // construction entirely. This keeps a zero-deadline request
+    // deterministic (and cheap) instead of racing the construction
+    // against the clock.
+    const auto stop_requested = [this] {
+        return options.stopFlag &&
+               options.stopFlag->load(std::memory_order_relaxed);
+    };
+    if (start_cost > 0 &&
+        (stop_requested() || options.totalTimeoutSeconds <= 0.0)) {
+        result.termination = stop_requested()
+                                 ? DescentTermination::Cancelled
+                                 : DescentTermination::BudgetExhausted;
+        if (run_span.active()) {
+            run_span.arg("cost", result.cost);
+            run_span.arg("sat_calls", result.satCalls);
+            run_span.arg("proved_optimal", result.provedOptimal);
+        }
+        lastResult = result;
+        return result;
+    }
+
     Timer construct_timer;
     solver = makeSolver();
     inprocessedConflicts = 0;
@@ -142,11 +165,18 @@ DescentSolver::solve()
                              .histogram("descent.step_seconds");
     Timer solve_timer;
     while (best > 0) {
+        if (stop_requested()) {
+            result.termination = DescentTermination::Cancelled;
+            break;
+        }
         const double elapsed = solve_timer.seconds();
         const double remaining =
             options.totalTimeoutSeconds - elapsed;
-        if (remaining <= 0)
+        if (remaining <= 0) {
+            result.termination =
+                DescentTermination::BudgetExhausted;
             break;
+        }
         const std::size_t asked = best - 1;
         telemetry::TraceSpan span("descent.bound");
         if (span.active())
@@ -156,6 +186,7 @@ DescentSolver::solve()
         sat::Budget budget;
         budget.maxSeconds =
             std::min(options.stepTimeoutSeconds, remaining);
+        budget.stopFlag = options.stopFlag;
         const Timer step_timer;
         const sat::SolveStatus status = solver->solve({}, budget);
         ++result.satCalls;
@@ -177,7 +208,14 @@ DescentSolver::solve()
             result.provedOptimal = true;
             stop = true;
         } else {
-            stop = true; // budget expired without an answer
+            // Budget expired without an answer — distinguish the
+            // caller's stop flag from a plain timeout so the
+            // serving layer can report Cancelled vs best-so-far.
+            result.termination =
+                stop_requested()
+                    ? DescentTermination::Cancelled
+                    : DescentTermination::BudgetExhausted;
+            stop = true;
         }
 
         if (span.active()) {

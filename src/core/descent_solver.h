@@ -33,6 +33,7 @@
 #ifndef FERMIHEDRAL_CORE_DESCENT_SOLVER_H
 #define FERMIHEDRAL_CORE_DESCENT_SOLVER_H
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -69,6 +70,17 @@ struct DescentProgress
 
     /** Aggregate solver conflicts across the run so far. */
     std::uint64_t conflicts = 0;
+};
+
+/** Why solve() stopped descending. */
+enum class DescentTermination
+{
+    /** Optimality proved (UNSAT at best - 1, or the bound hit 0). */
+    Completed,
+    /** The step/total wall budget expired (anytime answer). */
+    BudgetExhausted,
+    /** The caller's stop flag was raised mid-descent. */
+    Cancelled,
 };
 
 /** Options for one descent run. */
@@ -168,6 +180,17 @@ struct DescentOptions
      */
     std::size_t inprocessMinConflicts = 2000;
 
+    /**
+     * Cooperative cancellation: when non-null and set, the descent
+     * stops at the next SAT budget poll and solve() returns its
+     * best-so-far result with DescentTermination::Cancelled. The
+     * flag is composed into every sat::Budget the loop issues, so
+     * it reaches both portfolio arbitration modes. Checked with
+     * relaxed loads only — attaching a never-fired flag does not
+     * perturb deterministic-mode bit-identity.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+
     /** Override the initial bound (default: Bravyi-Kitaev cost). */
     std::optional<std::size_t> initialBound;
 
@@ -202,6 +225,9 @@ struct DescentResult
 
     /** The final decrement was refuted: `cost` is proved optimal. */
     bool provedOptimal = false;
+
+    /** Why the descent stopped (budget vs cancel vs proof). */
+    DescentTermination termination = DescentTermination::Completed;
 
     /** Number of SAT solve() calls made. */
     std::size_t satCalls = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
@@ -1007,6 +1008,11 @@ bool
 Solver::budgetExpired(const Budget &budget, double start_time,
                       std::uint64_t start_conflicts) const
 {
+    // Fault rehearsal: a forced expiry exercises every degradation
+    // path above the solver (Unknown step -> anytime descent ->
+    // ResultStatus). One relaxed load when no failpoint is armed.
+    if (failpoint::fire("sat.budget.expire"))
+        return true;
     if (budget.stopFlag &&
         budget.stopFlag->load(std::memory_order_relaxed)) {
         return true;

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <unistd.h>
 
 #include "api/serialize.h"
@@ -292,15 +293,28 @@ TEST(CompilerService, SubmitBatchMatchesSyncResults)
                  FatalError);
 }
 
-TEST(CompilerService, AsyncFutureDeliversFailures)
+TEST(CompilerService, AsyncFutureDeliversFailuresAsErrorResults)
 {
     CompilerService service;
     CompilationRequest bad = fastRequest(3, "sat+annealing");
     // Valid strategy name, invalid spec (no Hamiltonian): the
-    // diagnostic must surface through the future, not kill a pool
-    // thread.
+    // diagnostic must surface as an Error-status result through
+    // the future — future.get() never throws, no pool thread dies.
     auto future = service.submit(bad);
-    EXPECT_THROW(future.get(), FatalError);
+    const auto result = future.get();
+    EXPECT_EQ(result.status, ResultStatus::Error);
+    EXPECT_NE(result.statusMessage.find("sat+annealing"),
+              std::string::npos)
+        << result.statusMessage;
+
+    // The synchronous path folds the same failure the same way.
+    const auto sync = service.compile(bad);
+    EXPECT_EQ(sync.status, ResultStatus::Error);
+
+    const auto stats = service.serviceStats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.errors, 2u);
+    EXPECT_EQ(stats.ok, 0u);
 }
 
 TEST(CompilerService, LruEvictsLeastRecentlyUsed)
@@ -364,6 +378,65 @@ TEST(CompilerService, DiskCacheSurvivesRestartAndRejectsCorruption)
         CompilerService fresh(options);
         EXPECT_TRUE(fresh.compile(request).fromCache);
     }
+}
+
+TEST(CompilerService, DiskCacheRejectsTruncatedAndDamagedEntries)
+{
+    TempDir dir("disk-damage");
+    ServiceOptions options;
+    options.diskCachePath = dir.path();
+    const auto request = fastRequest(2, "sat");
+
+    std::string cold_text;
+    {
+        CompilerService service(options);
+        cold_text = serializeResult(service.compile(request));
+    }
+    std::filesystem::path entry_path;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path()))
+        entry_path = entry.path();
+    ASSERT_FALSE(entry_path.empty());
+    std::string good;
+    {
+        std::ifstream file(entry_path, std::ios::binary);
+        std::ostringstream text;
+        text << file.rdbuf();
+        good = text.str();
+    }
+    ASSERT_EQ(good.rfind("fermihedral-cache v2 crc32 ", 0), 0u);
+
+    const auto expectRejected = [&](const std::string &damaged,
+                                    const char *what) {
+        {
+            std::ofstream file(entry_path, std::ios::binary |
+                                               std::ios::trunc);
+            file << damaged;
+        }
+        CompilerService service(options);
+        const auto recomputed = service.compile(request);
+        EXPECT_FALSE(recomputed.fromCache) << what;
+        EXPECT_EQ(service.cacheStats().corrupted, 1u) << what;
+        EXPECT_EQ(serializeResult(recomputed), cold_text) << what;
+    };
+
+    // A torn write: valid header, payload cut in half. The CRC
+    // must reject it even though the prefix may still parse.
+    expectRejected(good.substr(0, good.size() / 2), "truncated");
+    // Crash before any byte landed.
+    expectRejected("", "zero-length");
+    // A single flipped bit deep in the payload.
+    std::string flipped = good;
+    flipped[flipped.size() - 2] =
+        static_cast<char>(flipped[flipped.size() - 2] ^ 0x01);
+    expectRejected(flipped, "bit-flip");
+    // A pre-CRC v1 entry from an older build.
+    expectRejected("key v1|strategy=sat|objective=total-weight\n",
+                   "v1-format");
+
+    // After each rejection the store rewrote a good entry.
+    CompilerService fresh(options);
+    EXPECT_TRUE(fresh.compile(request).fromCache);
 }
 
 TEST(CompilerService, CacheStatsJsonIsWellFormed)

@@ -361,6 +361,36 @@ TEST(PortfolioSolver, CallerStopFlagCancelsAllInstances)
     EXPECT_EQ(solver.solve({}, budget), SolveStatus::Unknown);
 }
 
+TEST(PortfolioSolver, CallerStopFlagCancelsDeterministicMode)
+{
+    // Deterministic mode runs every instance to completion and
+    // picks the winner by fixed precedence — so cancellation must
+    // reach each instance through its own budget, not through the
+    // racing watcher (which deterministic mode does not start).
+    PortfolioSolver solver(withInstances(2, 2, true));
+    const int holes = 9, pigeons = 10;
+    std::vector<std::vector<Var>> at(pigeons,
+                                     std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            at[p][h] = solver.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(at[p][h]));
+        solver.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p = 0; p < pigeons; ++p)
+            for (int q = p + 1; q < pigeons; ++q)
+                solver.addClause(
+                    {~mkLit(at[p][h]), ~mkLit(at[q][h])});
+    std::atomic<bool> stop{true};
+    Budget budget;
+    budget.stopFlag = &stop;
+    EXPECT_EQ(solver.solve({}, budget), SolveStatus::Unknown);
+}
+
 TEST(PortfolioSolver, CnfLoadsThroughSolverBase)
 {
     const Cnf cnf = parseDimacs("p cnf 3 3\n"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Sanity-check telemetry artifacts produced by --metrics-json / --trace.
 
-Usage: check_telemetry.py FILE [FILE ...]
+Usage: check_telemetry.py [--require NAME[,NAME...]] FILE [FILE ...]
 
 Each file is detected by shape: a Chrome trace document (top-level
 "traceEvents") or a metrics document (top-level "counters" /
@@ -9,6 +9,11 @@ Each file is detected by shape: a Chrome trace document (top-level
 consumers (Perfetto, the artifact diffing) rely on: required keys
 present, timestamps/durations non-negative, and histogram
 percentiles ordered min <= p50 <= p90 <= p99 <= max.
+
+--require lists counter names (comma-separated, repeatable) that
+must be present in every metrics document checked — the CI
+fault-injection job uses it to prove the shed/cancel/coalesce
+counters actually moved through the registry.
 """
 
 import json
@@ -40,7 +45,7 @@ def check_trace(path, doc):
     print(f"{path}: trace OK ({len(events)} events)")
 
 
-def check_metrics(path, doc):
+def check_metrics(path, doc, required):
     for section in ("counters", "gauges", "histograms"):
         if section not in doc:
             fail(path, f"missing section {section!r}")
@@ -49,6 +54,9 @@ def check_metrics(path, doc):
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(path, f"counter {name!r}: bad value {value!r}")
+    missing = sorted(set(required) - doc["counters"].keys())
+    if missing:
+        fail(path, f"required counters missing: {missing}")
     for name, hist in doc["histograms"].items():
         missing = HISTOGRAM_KEYS - hist.keys()
         if missing:
@@ -67,15 +75,31 @@ def check_metrics(path, doc):
 
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    paths = []
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "--require":
+            value = next(args, None)
+            if value is None:
+                raise SystemExit("--require needs a counter list")
+            required.extend(
+                name for name in value.split(",") if name)
+        elif arg.startswith("--require="):
+            required.extend(
+                name for name in
+                arg.split("=", 1)[1].split(",") if name)
+        else:
+            paths.append(arg)
+    if not paths:
         raise SystemExit(__doc__)
-    for path in argv[1:]:
+    for path in paths:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
         if "traceEvents" in doc:
             check_trace(path, doc)
         else:
-            check_metrics(path, doc)
+            check_metrics(path, doc, required)
 
 
 if __name__ == "__main__":
