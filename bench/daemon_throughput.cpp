@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Daemon round-trip throughput: an in-process fermihedrald core
+ * (EncodingServer on a unix socket in a temp directory) driven by
+ * the blocking EncodingClient, comparing cold compiles against
+ * warm cache hits and non-pipelined against pipelined traffic.
+ * This measures the transport + service overhead the daemon adds
+ * on top of the search itself, so it uses the closed-form
+ * strategies (no SAT) by default.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace fermihedral;
+
+namespace {
+
+/** One measurement: `count` requests, optionally pipelined. */
+double
+drive(net::EncodingClient &client, const api::RequestSpec &spec,
+      std::size_t count, bool pipelined)
+{
+    Timer timer;
+    if (pipelined) {
+        for (std::size_t i = 0; i < count; ++i)
+            client.sendCompile(i + 1, spec);
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto frame = client.readMessage();
+            if (!frame)
+                fatal("daemon closed mid-bench");
+            net::EncodingClient::decodeReply(*frame);
+        }
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            client.compile(i + 1, spec);
+    }
+    return timer.seconds();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Daemon transport overhead: requests/s through "
+                  "an in-process EncodingServer.");
+    const auto *requests = flags.addInt(
+        "requests", 200, "requests per measurement");
+    const auto *modes =
+        flags.addInt("modes", 6, "mode count of the request spec");
+    const auto *strategy = flags.addString(
+        "strategy", "bravyi-kitaev",
+        "strategy (closed-form by default: measures transport, "
+        "not search)");
+    const auto tflags = telemetry::TelemetryFlags::add(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+    tflags.arm();
+
+    bench::banner("daemon round-trip throughput",
+                  "serving-layer extension");
+
+    const auto socket_dir =
+        std::filesystem::temp_directory_path() /
+        ("fermihedral-bench-" +
+         std::to_string(static_cast<unsigned>(::getpid())));
+    std::filesystem::create_directories(socket_dir);
+    net::ServerOptions options;
+    options.unixPath = (socket_dir / "daemon.sock").string();
+    net::EncodingServer server(options);
+    std::thread loop([&server] { server.run(); });
+
+    api::RequestSpec spec;
+    spec.problem = "modes:" + std::to_string(*modes);
+    spec.strategy = *strategy;
+
+    const auto count = static_cast<std::size_t>(*requests);
+    Table table({"Scenario", "Requests", "Seconds", "Req/s"});
+    const auto row = [&](const char *name, double seconds) {
+        table.addRow({name,
+                      Table::num(static_cast<std::int64_t>(count)),
+                      Table::num(seconds, 3),
+                      Table::num(double(count) / seconds, 0)});
+    };
+
+    {
+        net::EncodingClient client =
+            net::EncodingClient::overUnix(options.unixPath);
+        row("cold+warm sync", drive(client, spec, count, false));
+    }
+    {
+        net::EncodingClient client =
+            net::EncodingClient::overUnix(options.unixPath);
+        row("warm sync", drive(client, spec, count, false));
+    }
+    {
+        net::EncodingClient client =
+            net::EncodingClient::overUnix(options.unixPath);
+        row("warm pipelined", drive(client, spec, count, true));
+    }
+
+    server.stop();
+    loop.join();
+    std::printf("%s", table.render().c_str());
+    std::error_code ec;
+    std::filesystem::remove_all(socket_dir, ec);
+    tflags.report();
+    return 0;
+}

@@ -14,6 +14,7 @@ namespace {
 constexpr const char *kEncodingHeader = "fermihedral-encoding v1";
 constexpr const char *kOutcomeHeader = "fermihedral-outcome v1";
 constexpr const char *kResultHeader = "fermihedral-result v1";
+constexpr const char *kRequestHeader = "fermihedral-request v1";
 
 /** Bit-exact hexfloat rendering (C99 %a). */
 std::string
@@ -418,6 +419,61 @@ tryParseResult(std::string_view text)
         return std::nullopt;
     result.validation = enc::validateEncoding(result.encoding);
     return result;
+}
+
+std::string
+serializeRequestSpec(const RequestSpec &spec)
+{
+    std::ostringstream out;
+    out << kRequestHeader << '\n'
+        << "problem " << spec.problem << '\n'
+        << "strategy " << spec.strategy << '\n'
+        << "objective " << objectiveName(spec.objective) << '\n'
+        << "alg " << (spec.algebraicIndependence ? 1 : 0) << '\n'
+        << "vac " << (spec.vacuumPreservation ? 1 : 0) << '\n'
+        << "step-timeout " << hexDouble(spec.stepTimeoutSeconds)
+        << '\n'
+        << "total-timeout " << hexDouble(spec.totalTimeoutSeconds)
+        << '\n'
+        << "deadline " << hexDouble(spec.deadlineSeconds) << '\n';
+    return out.str();
+}
+
+std::optional<RequestSpec>
+tryParseRequestSpec(std::string_view text)
+{
+    Reader reader{text};
+    reader.expectLine(kRequestHeader);
+    RequestSpec spec;
+    spec.problem = std::string(reader.takeField("problem"));
+    spec.strategy = std::string(reader.takeField("strategy"));
+    const std::string_view objective =
+        reader.takeField("objective");
+    if (objective == objectiveName(Objective::Auto))
+        spec.objective = Objective::Auto;
+    else if (const auto parsed = objectiveFromName(objective))
+        spec.objective = *parsed;
+    else
+        return std::nullopt;
+    spec.algebraicIndependence = reader.takeBool("alg");
+    spec.vacuumPreservation = reader.takeBool("vac");
+    const auto step =
+        parseDouble(reader.takeField("step-timeout"));
+    const auto total =
+        parseDouble(reader.takeField("total-timeout"));
+    const auto deadline =
+        parseDouble(reader.takeField("deadline"));
+    if (reader.failed || !reader.atEnd() || !step || !total ||
+        !deadline)
+        return std::nullopt;
+    // Budgets are durations: NaN or negatives would silently turn
+    // into "no limit" downstream, so reject them here.
+    if (!(*step >= 0.0) || !(*total >= 0.0) || !(*deadline >= 0.0))
+        return std::nullopt;
+    spec.stepTimeoutSeconds = *step;
+    spec.totalTimeoutSeconds = *total;
+    spec.deadlineSeconds = *deadline;
+    return spec;
 }
 
 CompilationResult

@@ -32,9 +32,17 @@
 #include <string_view>
 
 #include "api/compiler.h"
+#include "api/model_spec.h"
 #include "encodings/encoding.h"
 
 namespace fermihedral::api {
+
+/** Serialize a wire request spec (`fermihedral-request v1`). */
+std::string serializeRequestSpec(const RequestSpec &spec);
+
+/** Parse a request spec; std::nullopt on any malformed input. */
+std::optional<RequestSpec> tryParseRequestSpec(
+    std::string_view text);
 
 /** Serialize an encoding (versioned text, round-trip exact). */
 std::string serializeEncoding(const enc::FermionEncoding &encoding);

@@ -70,7 +70,77 @@ fnv1a64(std::string_view text)
 constexpr std::string_view cacheHeaderPrefix =
     "fermihedral-cache v2 crc32 ";
 
+/**
+ * Validate a disk entry's v2 header and CRC. Returns the payload
+ * after the header (the `key` echo line plus the serialized
+ * outcome), or nullopt for anything torn, truncated, bit-flipped
+ * or version-mismatched.
+ */
+std::optional<std::string_view>
+checkedCachePayload(std::string_view view)
+{
+    if (view.substr(0, cacheHeaderPrefix.size()) !=
+            cacheHeaderPrefix ||
+        view.size() <= cacheHeaderPrefix.size() + 8 ||
+        view[cacheHeaderPrefix.size() + 8] != '\n')
+        return std::nullopt;
+    std::uint32_t expected_crc = 0;
+    for (const char c : view.substr(cacheHeaderPrefix.size(), 8)) {
+        expected_crc <<= 4;
+        if (c >= '0' && c <= '9')
+            expected_crc |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            expected_crc |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    const std::string_view payload =
+        view.substr(cacheHeaderPrefix.size() + 9);
+    if (crc32(payload) != expected_crc)
+        return std::nullopt;
+    return payload;
+}
+
 } // namespace
+
+StoreVerification
+verifyEncodingStore(const std::string &path)
+{
+    StoreVerification report;
+    std::error_code ec;
+    if (path.empty() || !std::filesystem::is_directory(path, ec))
+        return report;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".fhc")
+            continue;
+        ++report.entries;
+        std::ifstream file(entry.path(), std::ios::binary);
+        std::ostringstream content;
+        content << file.rdbuf();
+        const std::string text = std::move(content).str();
+        report.bytes += text.size();
+
+        bool intact = false;
+        if (const auto payload = checkedCachePayload(text)) {
+            // Without the original request we cannot re-derive the
+            // expected key, but the echo line must be present and
+            // the stored outcome must still parse.
+            const std::size_t eol = payload->find('\n');
+            intact = payload->substr(0, 4) == "key " &&
+                     eol != std::string_view::npos &&
+                     tryParseOutcome(payload->substr(eol + 1))
+                         .has_value();
+        }
+        if (!intact) {
+            ++report.corrupted;
+            warn("encoding store: corrupted entry '",
+                 entry.path().string(), "'");
+        }
+    }
+    return report;
+}
 
 std::string
 CompilerService::canonicalRequestKey(
@@ -97,11 +167,13 @@ CompilerService::canonicalRequestKey(
 }
 
 CompilerService::CompilerService(const ServiceOptions &options)
-    : options(options),
-      pool(ThreadPool::resolveThreadCount(
-          static_cast<std::int64_t>(options.threads))),
-      dispatcher([this] { dispatcherLoop(); })
+    : options(options)
 {
+    const std::size_t count = ThreadPool::resolveThreadCount(
+        static_cast<std::int64_t>(options.threads));
+    workers.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers.emplace_back([this] { workerLoop(); });
 }
 
 CompilerService::~CompilerService()
@@ -111,17 +183,27 @@ CompilerService::~CompilerService()
         stopping = true;
     }
     queueCv.notify_all();
-    dispatcher.join();
+    for (std::thread &worker : workers)
+        worker.join();
 }
 
 std::string
 CompilerService::diskEntryPath(const std::string &key) const
 {
+    const std::uint64_t hash = fnv1a64(key);
     char name[32];
     std::snprintf(name, sizeof name, "%016llx.fhc",
-                  static_cast<unsigned long long>(fnv1a64(key)));
-    return (std::filesystem::path(options.diskCachePath) / name)
-        .string();
+                  static_cast<unsigned long long>(hash));
+    std::filesystem::path path(options.diskCachePath);
+    if (options.diskCacheShards > 0) {
+        // Sharded layout: <store>/<hash mod N as %02x>/<hash>.fhc.
+        char shard[16];
+        std::snprintf(shard, sizeof shard, "%02llx",
+                      static_cast<unsigned long long>(
+                          hash % options.diskCacheShards));
+        path /= shard;
+    }
+    return (path / name).string();
 }
 
 std::optional<SearchOutcome>
@@ -160,31 +242,11 @@ CompilerService::lookup(const std::string &key)
     // — truncated, zero-length, bit-flipped, or a pre-CRC v1 entry
     // — counts as corrupted and reads as a miss.
     std::optional<SearchOutcome> outcome;
-    const std::string_view view{text};
-    if (view.substr(0, cacheHeaderPrefix.size()) ==
-            cacheHeaderPrefix &&
-        view.size() > cacheHeaderPrefix.size() + 8 &&
-        view[cacheHeaderPrefix.size() + 8] == '\n') {
-        std::uint32_t expected_crc = 0;
-        bool valid_hex = true;
-        for (const char c :
-             view.substr(cacheHeaderPrefix.size(), 8)) {
-            expected_crc <<= 4;
-            if (c >= '0' && c <= '9')
-                expected_crc |= static_cast<std::uint32_t>(c - '0');
-            else if (c >= 'a' && c <= 'f')
-                expected_crc |=
-                    static_cast<std::uint32_t>(c - 'a' + 10);
-            else
-                valid_hex = false;
-        }
-        const std::string_view payload =
-            view.substr(cacheHeaderPrefix.size() + 9);
+    if (const auto payload = checkedCachePayload(text)) {
         const std::string expected_key = "key " + key + "\n";
-        if (valid_hex && crc32(payload) == expected_crc &&
-            payload.substr(0, expected_key.size()) == expected_key)
+        if (payload->substr(0, expected_key.size()) == expected_key)
             outcome = tryParseOutcome(
-                payload.substr(expected_key.size()));
+                payload->substr(expected_key.size()));
     }
     std::lock_guard lock(cacheMutex);
     if (!outcome) {
@@ -227,8 +289,11 @@ CompilerService::store(const std::string &key,
     }
     if (options.diskCachePath.empty())
         return;
+    const std::string path = diskEntryPath(key);
     std::error_code ec;
-    std::filesystem::create_directories(options.diskCachePath, ec);
+    // Covers the shard subdirectory too when sharding is on.
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
     if (ec) {
         warn("encoding cache: cannot create '",
              options.diskCachePath, "': ", ec.message());
@@ -251,7 +316,6 @@ CompilerService::store(const std::string &key,
     // (two pool threads computing identical requests) each land a
     // complete file; the rename is atomic, so readers never see a
     // torn entry.
-    const std::string path = diskEntryPath(key);
     std::ostringstream tmp_name;
     tmp_name << path << ".tmp."
              << std::hash<std::thread::id>{}(
@@ -580,10 +644,15 @@ CompilerService::compileBatch(
 }
 
 void
-CompilerService::dispatcherLoop()
+CompilerService::workerLoop()
 {
+    // One task at a time per worker — never a whole batch. A batch
+    // barrier would let one long-running SAT search hold back every
+    // request submitted after it; pulling singly bounds the
+    // head-of-line cost at (queue depth / workers), which is what
+    // the daemon's pipelined out-of-order responses rely on.
     for (;;) {
-        std::vector<std::packaged_task<CompilationResult()>> batch;
+        std::packaged_task<CompilationResult()> task;
         {
             std::unique_lock lock(queueMutex);
             queueCv.wait(lock, [this] {
@@ -591,18 +660,13 @@ CompilerService::dispatcherLoop()
             });
             if (queue.empty())
                 return; // stopping, and fully drained
-            batch.assign(
-                std::make_move_iterator(queue.begin()),
-                std::make_move_iterator(queue.end()));
-            queue.clear();
+            task = std::move(queue.front());
+            queue.pop_front();
         }
-        // packaged_task stores exceptions in its future, so tasks
-        // never throw across the pool (its documented contract) —
-        // and with guardedCompile they no longer store exceptions
-        // either: every failure is an Error-status result.
-        pool.forEach(batch.size(), [&batch](std::size_t index) {
-            batch[index]();
-        });
+        // packaged_task stores exceptions in its future, and with
+        // guardedCompile it no longer stores even those: every
+        // failure is an Error-status result.
+        task();
     }
 }
 

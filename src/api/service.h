@@ -48,9 +48,10 @@
  *    execution — cacheStats().computes does not move. Only Ok
  *    outcomes are ever stored.
  *  - submit() never runs work on the caller's thread; tasks are
- *    drained by one dispatcher thread that fans each batch over
- *    the service's ThreadPool (the pool's one-loop-at-a-time
- *    contract is respected).
+ *    pulled one at a time by a fixed set of worker threads, so a
+ *    long-running compilation occupies one worker and never
+ *    head-of-line blocks later submissions — the property the
+ *    daemon's pipelined out-of-order responses rest on.
  *  - Identical requests in flight at the same moment are
  *    coalesced: the first becomes the leader and runs the search,
  *    the rest block on its outcome and assemble their own results
@@ -104,6 +105,16 @@ struct ServiceOptions
     std::string diskCachePath;
 
     /**
+     * Fan the store over this many hashed subdirectories
+     * (`<shard>/<hash>.fhc`, shard = key hash mod N in lowercase
+     * hex). 0 keeps the flat single-directory layout. Sharding
+     * bounds per-directory entry counts for large warmed libraries;
+     * changing the count orphans existing entries (they re-compute
+     * and re-store under the new layout — see docs/OPERATIONS.md).
+     */
+    std::size_t diskCacheShards = 0;
+
+    /**
      * Admission control: maximum requests waiting in the submit
      * queue (0 = unbounded). When the queue is full, submit()
      * rejects the newest request with ResultStatus::Shed instead
@@ -153,6 +164,28 @@ struct ServiceStats
     /** Non-Ok search outcomes (computed but never cached). */
     std::size_t degraded = 0;
 };
+
+/** What verifyEncodingStore() found on disk. */
+struct StoreVerification
+{
+    /** `.fhc` files scanned (all shard layouts). */
+    std::size_t entries = 0;
+    /** Entries whose CRC, key echo, or payload failed to check. */
+    std::size_t corrupted = 0;
+    /** Total bytes across scanned entries. */
+    std::size_t bytes = 0;
+};
+
+/**
+ * Offline CRC audit of an on-disk encoding store: scan every
+ * `.fhc` entry under `path` (flat and sharded layouts alike),
+ * re-check the v2 header CRC against the payload and re-parse the
+ * stored outcome. Read-only — corrupted entries are reported, not
+ * deleted (the serving path already treats them as misses and
+ * overwrites them on the next compute). A missing directory is an
+ * empty store, not an error.
+ */
+StoreVerification verifyEncodingStore(const std::string &path);
 
 /** The cached, batching compilation service (see file docs). */
 class CompilerService
@@ -254,7 +287,7 @@ class CompilerService
     /** Bump the per-status counters (instance + telemetry). */
     void recordStatus(ResultStatus status);
 
-    void dispatcherLoop();
+    void workerLoop();
 
     ServiceOptions options;
 
@@ -268,12 +301,11 @@ class CompilerService
     std::unordered_map<std::string, std::shared_ptr<InflightSearch>>
         inflight;
 
-    ThreadPool pool;
     std::mutex queueMutex;
     std::condition_variable queueCv;
     std::deque<std::packaged_task<CompilationResult()>> queue;
     bool stopping = false;
-    std::thread dispatcher;
+    std::vector<std::thread> workers;
 };
 
 } // namespace fermihedral::api

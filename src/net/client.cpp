@@ -1,0 +1,207 @@
+#include "net/client.h"
+
+#include "api/serialize.h"
+#include "common/logging.h"
+#include "net/socket.h"
+
+namespace fermihedral::net {
+
+EncodingClient
+EncodingClient::overTcp(const std::string &host,
+                        std::uint16_t port)
+{
+    return EncodingClient(connectTcp(host, port));
+}
+
+EncodingClient
+EncodingClient::overUnix(const std::string &path)
+{
+    return EncodingClient(connectUnix(path));
+}
+
+EncodingClient::EncodingClient(int fd) : fd(fd)
+{
+    handshake();
+}
+
+EncodingClient::EncodingClient(EncodingClient &&other) noexcept
+    : fd(other.fd), decoder(std::move(other.decoder)),
+      queued(std::move(other.queued)),
+      serverBanner(std::move(other.serverBanner)),
+      negotiated(other.negotiated),
+      nextInternalId(other.nextInternalId)
+{
+    other.fd = -1;
+}
+
+EncodingClient::~EncodingClient()
+{
+    closeFd(fd);
+}
+
+void
+EncodingClient::handshake()
+{
+    Frame hello;
+    hello.type = MessageType::Hello;
+    hello.requestId = 0;
+    hello.payload = encodeHelloPayload(kProtocolVersion);
+    writeAll(encodeFrame(hello));
+
+    const auto reply = readMessage();
+    if (!reply)
+        fatal("daemon closed the connection during the handshake");
+    if (reply->type == MessageType::Error)
+        fatal("daemon rejected the handshake: ", reply->payload);
+    if (reply->type != MessageType::Welcome)
+        fatal("handshake expected WELCOME, got ",
+              messageTypeName(reply->type));
+    const auto welcome = decodeWelcomePayload(reply->payload);
+    if (!welcome)
+        fatal("malformed WELCOME payload from the daemon");
+    negotiated = welcome->version;
+    serverBanner = welcome->banner;
+}
+
+void
+EncodingClient::writeAll(std::string_view bytes)
+{
+    while (!bytes.empty()) {
+        bool would_block = false;
+        const long n = writeSome(fd, bytes.data(), bytes.size(),
+                                 &would_block);
+        // The fd is blocking, so would_block cannot happen; any
+        // non-positive return is a dead connection.
+        if (n <= 0)
+            fatal("cannot write to the daemon (connection lost)");
+        bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<Frame>
+EncodingClient::readMessage()
+{
+    if (!queued.empty()) {
+        Frame frame = std::move(queued.front());
+        queued.pop_front();
+        return frame;
+    }
+    Frame frame;
+    for (;;) {
+        if (decoder.next(frame))
+            return frame;
+        if (!decoder.error().empty())
+            fatal("malformed frame from the daemon: ",
+                  decoder.error());
+        char buffer[64 * 1024];
+        bool would_block = false;
+        const long n =
+            readSome(fd, buffer, sizeof buffer, &would_block);
+        if (n <= 0) {
+            if (decoder.buffered() != 0)
+                fatal("daemon closed mid-frame");
+            return std::nullopt;
+        }
+        decoder.feed(std::string_view(
+            buffer, static_cast<std::size_t>(n)));
+    }
+}
+
+Frame
+EncodingClient::awaitReply(std::uint64_t id, MessageType type)
+{
+    for (;;) {
+        auto frame = readMessage();
+        if (!frame)
+            fatal("daemon closed before answering request ", id);
+        if (frame->type == MessageType::Error)
+            fatal("daemon protocol error: ", frame->payload);
+        if (frame->requestId == id && frame->type == type)
+            return *std::move(frame);
+        // Someone else's pipelined response: keep it for the
+        // caller's own readMessage() loop.
+        queued.push_back(*std::move(frame));
+    }
+}
+
+void
+EncodingClient::sendCompile(std::uint64_t id,
+                            const api::RequestSpec &spec)
+{
+    Frame frame;
+    frame.type = MessageType::Compile;
+    frame.requestId = id;
+    frame.payload = api::serializeRequestSpec(spec);
+    writeAll(encodeFrame(frame));
+}
+
+void
+EncodingClient::sendCancel(std::uint64_t id)
+{
+    Frame frame;
+    frame.type = MessageType::Cancel;
+    frame.requestId = id;
+    writeAll(encodeFrame(frame));
+}
+
+void
+EncodingClient::sendMetricsRequest(std::uint64_t id)
+{
+    Frame frame;
+    frame.type = MessageType::Metrics;
+    frame.requestId = id;
+    writeAll(encodeFrame(frame));
+}
+
+void
+EncodingClient::sendPing(std::uint64_t id,
+                         std::string_view payload)
+{
+    Frame frame;
+    frame.type = MessageType::Ping;
+    frame.requestId = id;
+    frame.payload = std::string(payload);
+    writeAll(encodeFrame(frame));
+}
+
+void
+EncodingClient::sendRaw(std::string_view bytes)
+{
+    writeAll(bytes);
+}
+
+CompileReply
+EncodingClient::decodeReply(const Frame &frame)
+{
+    if (frame.type != MessageType::Result)
+        fatal("expected a RESULT frame, got ",
+              messageTypeName(frame.type));
+    const auto payload = decodeResultPayload(frame.payload);
+    if (!payload)
+        fatal("malformed RESULT payload for request ",
+              frame.requestId);
+    CompileReply reply;
+    reply.requestId = frame.requestId;
+    reply.status = payload->status;
+    reply.message = payload->message;
+    reply.resultText = payload->resultText;
+    return reply;
+}
+
+CompileReply
+EncodingClient::compile(std::uint64_t id,
+                        const api::RequestSpec &spec)
+{
+    sendCompile(id, spec);
+    return decodeReply(awaitReply(id, MessageType::Result));
+}
+
+std::string
+EncodingClient::metrics()
+{
+    const std::uint64_t id = nextInternalId++;
+    sendMetricsRequest(id);
+    return awaitReply(id, MessageType::MetricsResult).payload;
+}
+
+} // namespace fermihedral::net

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * EncodingClient: a blocking client for the fermihedrald wire
+ * protocol (docs/PROTOCOL.md), used by tools/fermihedral_client,
+ * the daemon tests, and anything that wants an encoding from a
+ * running daemon without linking the SAT engine into its process.
+ *
+ * The client is deliberately synchronous — one fd, blocking reads,
+ * FrameDecoder for reassembly — because pipelining on the wire
+ * needs no client-side event loop: send any number of COMPILE
+ * frames with distinct ids, then readMessage() responses as the
+ * daemon completes them, in whatever order they finish.
+ *
+ * Key invariants:
+ *  - The constructor completes the HELLO/WELCOME handshake; a
+ *    version the server rejects (ERROR reply) or a malformed
+ *    handshake is fatal, so a constructed client is always ready
+ *    to send.
+ *  - readMessage() returns frames exactly as received — no
+ *    reordering, no filtering; nullopt means orderly server close.
+ *    A malformed byte stream is fatal (the transport is broken,
+ *    not the request).
+ *  - compile()/metrics() are conveniences that tolerate
+ *    interleaved unrelated frames by queueing them for later
+ *    readMessage() calls — mixing the conveniences with manual
+ *    pipelining stays correct.
+ */
+
+#ifndef FERMIHEDRAL_NET_CLIENT_H
+#define FERMIHEDRAL_NET_CLIENT_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/model_spec.h"
+#include "net/frame.h"
+
+namespace fermihedral::net {
+
+/** A finished compile as seen over the wire. */
+struct CompileReply
+{
+    std::uint64_t requestId = 0;
+    api::ResultStatus status = api::ResultStatus::Error;
+    /** statusMessage text from the daemon. */
+    std::string message;
+    /** Serialized CompilationResult (empty for Shed/Error). */
+    std::string resultText;
+};
+
+/** Blocking protocol client (see file docs). */
+class EncodingClient
+{
+  public:
+    /** Connect + handshake over TCP (numeric IPv4 host). */
+    static EncodingClient overTcp(const std::string &host,
+                                  std::uint16_t port);
+
+    /** Connect + handshake over a unix-domain socket. */
+    static EncodingClient overUnix(const std::string &path);
+
+    ~EncodingClient();
+    EncodingClient(EncodingClient &&other) noexcept;
+    EncodingClient &operator=(EncodingClient &&) = delete;
+    EncodingClient(const EncodingClient &) = delete;
+    EncodingClient &operator=(const EncodingClient &) = delete;
+
+    /** Server banner from the WELCOME frame. */
+    const std::string &banner() const { return serverBanner; }
+
+    /** Negotiated protocol version. */
+    std::uint32_t version() const { return negotiated; }
+
+    // --- pipelined sends -------------------------------------
+    void sendCompile(std::uint64_t id,
+                     const api::RequestSpec &spec);
+    void sendCancel(std::uint64_t id);
+    void sendMetricsRequest(std::uint64_t id);
+    void sendPing(std::uint64_t id, std::string_view payload);
+
+    /** Raw bytes straight onto the socket (protocol tests). */
+    void sendRaw(std::string_view bytes);
+
+    /**
+     * Block for the next server frame. nullopt on orderly close;
+     * fatal on a malformed stream.
+     */
+    std::optional<Frame> readMessage();
+
+    /** Decode a RESULT frame into a CompileReply (fatal if not). */
+    static CompileReply decodeReply(const Frame &frame);
+
+    // --- blocking conveniences -------------------------------
+    /** Send one compile and block for its RESULT. */
+    CompileReply compile(std::uint64_t id,
+                         const api::RequestSpec &spec);
+
+    /** Fetch the daemon's metrics JSON document. */
+    std::string metrics();
+
+  private:
+    explicit EncodingClient(int fd);
+
+    void handshake();
+    void writeAll(std::string_view bytes);
+
+    /** readMessage() that skips/queues frames until `id` answers. */
+    Frame awaitReply(std::uint64_t id, MessageType type);
+
+    int fd = -1;
+    FrameDecoder decoder;
+    /** Frames received while waiting for a specific reply. */
+    std::deque<Frame> queued;
+    std::string serverBanner;
+    std::uint32_t negotiated = 0;
+    std::uint64_t nextInternalId = (1ull << 62);
+};
+
+} // namespace fermihedral::net
+
+#endif // FERMIHEDRAL_NET_CLIENT_H

@@ -1,0 +1,95 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "net/socket.h"
+
+namespace fermihedral::net {
+
+EventLoop::EventLoop()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        fatal("cannot create event-loop wake pipe: ",
+              std::strerror(errno));
+    wakeRead = fds[0];
+    wakeWrite = fds[1];
+    setNonBlocking(wakeRead);
+    setNonBlocking(wakeWrite);
+}
+
+EventLoop::~EventLoop()
+{
+    closeFd(wakeRead);
+    closeFd(wakeWrite);
+}
+
+std::vector<Event>
+EventLoop::poll(const std::vector<Interest> &interests,
+                int timeout_ms)
+{
+    std::vector<pollfd> fds;
+    fds.reserve(interests.size() + 1);
+    fds.push_back(pollfd{wakeRead, POLLIN, 0});
+    for (const Interest &interest : interests) {
+        short events = 0;
+        if (interest.read)
+            events |= POLLIN;
+        if (interest.write)
+            events |= POLLOUT;
+        fds.push_back(pollfd{interest.fd, events, 0});
+    }
+
+    int rc;
+    do {
+        rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        fatal("poll() failed: ", std::strerror(errno));
+
+    std::vector<Event> events;
+    if (rc == 0)
+        return events;
+
+    // Drain the wake pipe: wake() calls between polls collapse
+    // into one early return.
+    if (fds[0].revents & POLLIN) {
+        char sink[64];
+        bool would_block = false;
+        while (readSome(wakeRead, sink, sizeof sink,
+                        &would_block) > 0) {
+        }
+    }
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+        const pollfd &entry = fds[i];
+        if (entry.revents == 0)
+            continue;
+        Event event;
+        event.fd = entry.fd;
+        // POLLHUP/POLLERR/POLLNVAL surface as readable: the
+        // owner's next read() observes close/error directly.
+        event.readable = (entry.revents &
+                          (POLLIN | POLLHUP | POLLERR |
+                           POLLNVAL)) != 0;
+        event.writable = (entry.revents & POLLOUT) != 0;
+        events.push_back(event);
+    }
+    return events;
+}
+
+void
+EventLoop::wake()
+{
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is
+    // success for our purposes.
+    [[maybe_unused]] const ssize_t rc =
+        ::write(wakeWrite, &byte, 1);
+}
+
+} // namespace fermihedral::net

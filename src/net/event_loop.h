@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A minimal poll(2)-based readiness loop for the daemon. The owner
+ * declares, each iteration, which fds it cares about and for what
+ * (Interest), and gets back the subset that became ready (Event).
+ * poll(2) rather than epoll keeps it portable across the POSIX
+ * systems the toolchain targets; the daemon's fd counts (tens of
+ * connections) are far below where epoll's O(ready) scan wins.
+ *
+ * A self-pipe provides cross-thread wakeup: wake() may be called
+ * from any thread (it is async-signal-safe — one write() on the
+ * pipe) and makes the current or next poll() return immediately;
+ * the loop drains the pipe internally, so spurious wakeups are
+ * cheap and wake() never blocks on a full pipe.
+ *
+ * Key invariants:
+ *  - poll() only reports fds listed in the interests of that call;
+ *    the wake pipe is managed internally and never leaks into the
+ *    returned events.
+ *  - wake() is level-collapsing: any number of calls between two
+ *    poll()s causes at most one early return.
+ *  - Hang-up and error conditions on a watched fd are reported as
+ *    `readable` so the owner discovers them through a read() that
+ *    returns 0/-1 — one error path, not two.
+ */
+
+#ifndef FERMIHEDRAL_NET_EVENT_LOOP_H
+#define FERMIHEDRAL_NET_EVENT_LOOP_H
+
+#include <vector>
+
+namespace fermihedral::net {
+
+/** What the owner wants to hear about an fd. */
+struct Interest
+{
+    int fd = -1;
+    bool read = false;
+    bool write = false;
+};
+
+/** What happened to an fd during one poll(). */
+struct Event
+{
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+};
+
+/** The poll(2) loop core (see file docs). */
+class EventLoop
+{
+  public:
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /**
+     * Wait up to timeout_ms (-1 = indefinitely) for readiness on
+     * the interests or a wake(). Returns the ready events
+     * (possibly empty on timeout or wakeup).
+     */
+    std::vector<Event> poll(const std::vector<Interest> &interests,
+                            int timeout_ms);
+
+    /** Make the current/next poll() return now. Any thread. */
+    void wake();
+
+  private:
+    int wakeRead = -1;
+    int wakeWrite = -1;
+};
+
+} // namespace fermihedral::net
+
+#endif // FERMIHEDRAL_NET_EVENT_LOOP_H

@@ -1,0 +1,260 @@
+#include "net/frame.h"
+
+#include "common/logging.h"
+
+namespace fermihedral::net {
+
+namespace {
+
+void
+putU16(std::string &out, std::uint16_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+std::uint16_t
+getU16(std::string_view bytes)
+{
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint16_t>(
+            static_cast<unsigned char>(bytes[i]));
+    };
+    return static_cast<std::uint16_t>(b(0) | (b(1) << 8));
+}
+
+std::uint32_t
+getU32(std::string_view bytes)
+{
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = (value << 8) |
+                static_cast<unsigned char>(bytes[std::size_t(i)]);
+    return value;
+}
+
+std::uint64_t
+getU64(std::string_view bytes)
+{
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) |
+                static_cast<unsigned char>(bytes[std::size_t(i)]);
+    return value;
+}
+
+} // namespace
+
+bool
+isKnownMessageType(std::uint8_t byte)
+{
+    switch (static_cast<MessageType>(byte)) {
+      case MessageType::Hello:
+      case MessageType::Welcome:
+      case MessageType::Compile:
+      case MessageType::Result:
+      case MessageType::Cancel:
+      case MessageType::Metrics:
+      case MessageType::MetricsResult:
+      case MessageType::Ping:
+      case MessageType::Pong:
+      case MessageType::Error: return true;
+    }
+    return false;
+}
+
+const char *
+messageTypeName(MessageType type)
+{
+    switch (type) {
+      case MessageType::Hello: return "HELLO";
+      case MessageType::Welcome: return "WELCOME";
+      case MessageType::Compile: return "COMPILE";
+      case MessageType::Result: return "RESULT";
+      case MessageType::Cancel: return "CANCEL";
+      case MessageType::Metrics: return "METRICS";
+      case MessageType::MetricsResult: return "METRICS_RESULT";
+      case MessageType::Ping: return "PING";
+      case MessageType::Pong: return "PONG";
+      case MessageType::Error: return "ERROR";
+    }
+    return "unknown";
+}
+
+std::uint8_t
+statusToCode(api::ResultStatus status)
+{
+    switch (status) {
+      case api::ResultStatus::Ok: return kStatusOk;
+      case api::ResultStatus::DeadlineExceeded:
+          return kStatusDeadlineExceeded;
+      case api::ResultStatus::Cancelled: return kStatusCancelled;
+      case api::ResultStatus::Shed: return kStatusShed;
+      case api::ResultStatus::Error: return kStatusError;
+    }
+    panic("unhandled ResultStatus value ",
+          static_cast<int>(status));
+}
+
+std::optional<api::ResultStatus>
+statusFromCode(std::uint8_t code)
+{
+    switch (code) {
+      case kStatusOk: return api::ResultStatus::Ok;
+      case kStatusDeadlineExceeded:
+          return api::ResultStatus::DeadlineExceeded;
+      case kStatusCancelled: return api::ResultStatus::Cancelled;
+      case kStatusShed: return api::ResultStatus::Shed;
+      case kStatusError: return api::ResultStatus::Error;
+    }
+    return std::nullopt;
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    require(frame.payload.size() <= kMaxPayloadBytes,
+            "frame payload of ", frame.payload.size(),
+            " bytes exceeds kMaxPayloadBytes");
+    std::string out;
+    out.reserve(kHeaderBytes + frame.payload.size());
+    putU32(out, static_cast<std::uint32_t>(kFrameOverheadBytes +
+                                           frame.payload.size()));
+    out.push_back(static_cast<char>(frame.type));
+    putU64(out, frame.requestId);
+    out += frame.payload;
+    return out;
+}
+
+std::string
+encodeHelloPayload(std::uint32_t version)
+{
+    std::string out;
+    putU32(out, version);
+    return out;
+}
+
+std::optional<std::uint32_t>
+decodeHelloPayload(std::string_view payload)
+{
+    if (payload.size() != 4)
+        return std::nullopt;
+    return getU32(payload);
+}
+
+std::string
+encodeWelcomePayload(std::uint32_t version, std::string_view banner)
+{
+    std::string out;
+    putU32(out, version);
+    out += banner;
+    return out;
+}
+
+std::optional<WelcomePayload>
+decodeWelcomePayload(std::string_view payload)
+{
+    if (payload.size() < 4)
+        return std::nullopt;
+    WelcomePayload welcome;
+    welcome.version = getU32(payload);
+    welcome.banner = std::string(payload.substr(4));
+    return welcome;
+}
+
+std::string
+encodeResultPayload(api::ResultStatus status,
+                    std::string_view message,
+                    std::string_view result_text)
+{
+    // The message is human-readable detail; cap it at the u16
+    // length field rather than failing the whole response.
+    if (message.size() > 0xffff)
+        message = message.substr(0, 0xffff);
+    std::string out;
+    out.reserve(3 + message.size() + result_text.size());
+    out.push_back(static_cast<char>(statusToCode(status)));
+    putU16(out, static_cast<std::uint16_t>(message.size()));
+    out += message;
+    out += result_text;
+    return out;
+}
+
+std::optional<ResultPayload>
+decodeResultPayload(std::string_view payload)
+{
+    if (payload.size() < 3)
+        return std::nullopt;
+    const auto status = statusFromCode(
+        static_cast<std::uint8_t>(payload[0]));
+    if (!status)
+        return std::nullopt;
+    const std::size_t message_len = getU16(payload.substr(1, 2));
+    if (payload.size() < 3 + message_len)
+        return std::nullopt;
+    ResultPayload result;
+    result.status = *status;
+    result.message = std::string(payload.substr(3, message_len));
+    result.resultText = std::string(payload.substr(3 + message_len));
+    return result;
+}
+
+void
+FrameDecoder::feed(std::string_view bytes)
+{
+    if (!errorMessage.empty())
+        return;
+    buffer += bytes;
+}
+
+bool
+FrameDecoder::next(Frame &frame)
+{
+    if (!errorMessage.empty())
+        return false;
+    if (buffer.size() < 4)
+        return false;
+    const std::uint32_t length = getU32(std::string_view(buffer));
+    // Validate the declared length before waiting for the body: a
+    // hostile prefix must poison the stream immediately, not after
+    // a multi-megabyte buffer fills.
+    if (length < kFrameOverheadBytes ||
+        length > kFrameOverheadBytes + kMaxPayloadBytes) {
+        errorMessage = "malformed frame: declared length " +
+                       std::to_string(length) +
+                       " outside [9, 9 + 8 MiB]";
+        return false;
+    }
+    if (buffer.size() < 4 + std::size_t(length))
+        return false;
+    const auto type_byte = static_cast<std::uint8_t>(buffer[4]);
+    if (!isKnownMessageType(type_byte)) {
+        errorMessage = "malformed frame: unknown message type 0x";
+        constexpr char hex[] = "0123456789abcdef";
+        errorMessage.push_back(hex[type_byte >> 4]);
+        errorMessage.push_back(hex[type_byte & 0xf]);
+        return false;
+    }
+    frame.type = static_cast<MessageType>(type_byte);
+    frame.requestId = getU64(std::string_view(buffer).substr(5, 8));
+    frame.payload.assign(buffer, kHeaderBytes,
+                         length - kFrameOverheadBytes);
+    buffer.erase(0, 4 + std::size_t(length));
+    return true;
+}
+
+} // namespace fermihedral::net

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The wire format of the encoding service: a length-prefixed binary
+ * frame protocol carrying versioned text payloads. One frame is
+ *
+ *   offset  size  field
+ *   0       4     frame length N, u32 little-endian — the number of
+ *                 bytes AFTER this prefix (type + id + payload)
+ *   4       1     message type, u8 (MessageType)
+ *   5       8     request id, u64 little-endian
+ *   13      N-9   payload (layout depends on the type)
+ *
+ * so N >= 9 always, and N <= 9 + kMaxPayloadBytes. The full
+ * byte-level specification — message types, payload layouts, status
+ * codes, request-id semantics, version negotiation, worked hex
+ * dumps — lives in docs/PROTOCOL.md; this header and that document
+ * are kept in sync by the fixtures in tests/test_net_frame.cpp,
+ * which are written from the document.
+ *
+ * Key invariants:
+ *  - encodeFrame(decode(bytes)) == bytes for every valid frame:
+ *    the codec is byte-exact in both directions.
+ *  - FrameDecoder is incremental and allocation-bounded: bytes may
+ *    arrive one at a time (partial reads), and a declared length
+ *    outside [9, 9 + kMaxPayloadBytes] or an unknown type byte
+ *    poisons the decoder (error()) before any payload is buffered,
+ *    so a hostile peer cannot make it allocate unboundedly.
+ *  - kProtocolVersion is the single version constant; it appears in
+ *    HELLO/WELCOME payloads and is asserted against docs/PROTOCOL.md
+ *    by the tests.
+ */
+
+#ifndef FERMIHEDRAL_NET_FRAME_H
+#define FERMIHEDRAL_NET_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/compiler.h"
+
+namespace fermihedral::net {
+
+/** The protocol version this build speaks (docs/PROTOCOL.md). */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** The oldest version this build still accepts in HELLO. */
+constexpr std::uint32_t kMinProtocolVersion = 1;
+
+/** Frame length prefix + type byte + request id. */
+constexpr std::size_t kHeaderBytes = 13;
+
+/** Bytes of the frame counted by the length prefix besides payload. */
+constexpr std::size_t kFrameOverheadBytes = 9;
+
+/** Hard ceiling on one frame's payload (8 MiB). */
+constexpr std::size_t kMaxPayloadBytes = 8u * 1024 * 1024;
+
+/** Message types (the u8 at frame offset 4). */
+enum class MessageType : std::uint8_t
+{
+    /** client -> server: highest protocol version the client speaks. */
+    Hello = 0x01,
+    /** server -> client: negotiated version + server banner. */
+    Welcome = 0x02,
+    /** client -> server: one compilation request (versioned text). */
+    Compile = 0x03,
+    /** server -> client: status + message + serialized result. */
+    Result = 0x04,
+    /** client -> server: cancel the in-flight id of this frame. */
+    Cancel = 0x05,
+    /** client -> server: request the process metrics document. */
+    Metrics = 0x06,
+    /** server -> client: the metrics JSON document. */
+    MetricsResult = 0x07,
+    /** client -> server: liveness probe; payload echoed back. */
+    Ping = 0x08,
+    /** server -> client: the Ping echo. */
+    Pong = 0x09,
+    /** server -> client: protocol-level error (UTF-8 message). */
+    Error = 0x7f,
+};
+
+/** True when `byte` is one of the MessageType values above. */
+bool isKnownMessageType(std::uint8_t byte);
+
+/** Printable name of a message type (diagnostics). */
+const char *messageTypeName(MessageType type);
+
+/**
+ * Result-frame status codes (the u8 at payload offset 0 of a
+ * Result frame), a stable wire rendering of api::ResultStatus.
+ */
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusDeadlineExceeded = 1;
+constexpr std::uint8_t kStatusCancelled = 2;
+constexpr std::uint8_t kStatusShed = 3;
+constexpr std::uint8_t kStatusError = 4;
+
+/** ResultStatus -> wire status code. */
+std::uint8_t statusToCode(api::ResultStatus status);
+
+/** Wire status code -> ResultStatus; nullopt on unknown codes. */
+std::optional<api::ResultStatus> statusFromCode(std::uint8_t code);
+
+/** One decoded frame. */
+struct Frame
+{
+    MessageType type = MessageType::Error;
+    std::uint64_t requestId = 0;
+    std::string payload;
+};
+
+/** Render a frame to wire bytes (length prefix included). */
+std::string encodeFrame(const Frame &frame);
+
+/** Convenience constructors for the fixed-layout payloads. */
+std::string encodeHelloPayload(std::uint32_t version);
+std::optional<std::uint32_t> decodeHelloPayload(
+    std::string_view payload);
+
+std::string encodeWelcomePayload(std::uint32_t version,
+                                 std::string_view banner);
+struct WelcomePayload
+{
+    std::uint32_t version = 0;
+    std::string banner;
+};
+std::optional<WelcomePayload> decodeWelcomePayload(
+    std::string_view payload);
+
+/**
+ * Result payload: status (u8), message length (u16 LE), message
+ * bytes, then the serialized CompilationResult text (possibly
+ * empty — Shed and Error results carry no encoding).
+ */
+std::string encodeResultPayload(api::ResultStatus status,
+                                std::string_view message,
+                                std::string_view result_text);
+struct ResultPayload
+{
+    api::ResultStatus status = api::ResultStatus::Error;
+    std::string message;
+    std::string resultText;
+};
+std::optional<ResultPayload> decodeResultPayload(
+    std::string_view payload);
+
+/**
+ * Incremental frame decoder: feed() bytes as they arrive, poll
+ * next() for completed frames. Once error() is set the decoder
+ * ignores further input — the connection must be torn down.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes from the peer. */
+    void feed(std::string_view bytes);
+
+    /**
+     * Pop the next completed frame. Returns false when no full
+     * frame is buffered (or the decoder is poisoned).
+     */
+    bool next(Frame &frame);
+
+    /** Non-empty once the stream is unrecoverably malformed. */
+    const std::string &error() const { return errorMessage; }
+
+    /** Bytes currently buffered (tests; bounded by one frame). */
+    std::size_t buffered() const { return buffer.size(); }
+
+  private:
+    std::string buffer;
+    std::string errorMessage;
+};
+
+} // namespace fermihedral::net
+
+#endif // FERMIHEDRAL_NET_FRAME_H

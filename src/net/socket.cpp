@@ -1,0 +1,245 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace fermihedral::net {
+
+namespace {
+
+[[noreturn]] void
+fatalErrno(const char *what, const std::string &target)
+{
+    const int saved = errno;
+    fatal(what, " '", target, "': ", std::strerror(saved));
+}
+
+sockaddr_in
+tcpAddress(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatal("invalid IPv4 address '", host,
+              "' (hostnames are not resolved; use a numeric "
+              "address such as 127.0.0.1)");
+    return addr;
+}
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof addr.sun_path)
+        fatal("unix socket path '", path, "' is empty or longer ",
+              "than ", sizeof addr.sun_path - 1, " bytes");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+std::size_t
+maxUnixPathLength()
+{
+    return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+int
+listenTcp(const std::string &host, std::uint16_t port,
+          std::uint16_t *bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatalErrno("cannot create TCP socket for", host);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = tcpAddress(host, port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        closeFd(fd);
+        fatalErrno("cannot bind TCP listener to",
+                   host + ":" + std::to_string(port));
+    }
+    if (::listen(fd, 64) != 0) {
+        closeFd(fd);
+        fatalErrno("cannot listen on", host);
+    }
+    if (bound_port) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof actual;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual),
+                          &len) != 0) {
+            closeFd(fd);
+            fatalErrno("cannot read bound port of", host);
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    return fd;
+}
+
+int
+listenUnix(const std::string &path, unsigned mode)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatalErrno("cannot create unix socket for", path);
+    sockaddr_un addr = unixAddress(path);
+    // Daemon-restart convention: a leftover socket file from a
+    // previous run blocks bind(); unlink it. A *live* daemon on
+    // the same path loses its listener — docs/OPERATIONS.md tells
+    // operators to serialize restarts instead.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        closeFd(fd);
+        fatalErrno("cannot bind unix listener at", path);
+    }
+    if (::chmod(path.c_str(), mode) != 0) {
+        closeFd(fd);
+        ::unlink(path.c_str());
+        fatalErrno("cannot chmod unix socket", path);
+    }
+    if (::listen(fd, 64) != 0) {
+        closeFd(fd);
+        ::unlink(path.c_str());
+        fatalErrno("cannot listen on unix socket", path);
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatalErrno("cannot create TCP socket for", host);
+    // Request/response frames are small; without NODELAY every
+    // pipelined request would wait out Nagle against delayed ACKs.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr = tcpAddress(host, port);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        closeFd(fd);
+        fatalErrno("cannot connect to",
+                   host + ":" + std::to_string(port));
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatalErrno("cannot create unix socket for", path);
+    sockaddr_un addr = unixAddress(path);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        closeFd(fd);
+        fatalErrno("cannot connect to unix socket", path);
+    }
+    return fd;
+}
+
+int
+acceptConnection(int listener_fd)
+{
+    int fd;
+    do {
+        fd = ::accept(listener_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+void
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    // Fails with ENOTSUP/EOPNOTSUPP on unix-domain sockets; that
+    // is the expected no-op path.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatalErrno("cannot set O_NONBLOCK on fd",
+                   std::to_string(fd));
+}
+
+void
+closeFd(int fd)
+{
+    if (fd < 0)
+        return;
+    // POSIX leaves the fd state unspecified after EINTR from
+    // close(); retrying risks closing a recycled fd, so don't.
+    ::close(fd);
+}
+
+long
+readSome(int fd, char *buffer, std::size_t capacity,
+         bool *would_block)
+{
+    *would_block = false;
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, capacity);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            *would_block = true;
+            return 0;
+        }
+        return -1;
+    }
+}
+
+long
+writeSome(int fd, const char *buffer, std::size_t size,
+          bool *would_block)
+{
+    *would_block = false;
+    for (;;) {
+        // MSG_NOSIGNAL: a peer that closed mid-response must
+        // surface as an error return, not SIGPIPE.
+        const ssize_t n =
+            ::send(fd, buffer, size, MSG_NOSIGNAL);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            *would_block = true;
+            return 0;
+        }
+        return -1;
+    }
+}
+
+} // namespace fermihedral::net

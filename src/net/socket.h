@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Thin POSIX socket helpers shared by the daemon's event loop and
+ * the blocking client: listeners (TCP and unix-domain), outbound
+ * connects, non-blocking mode, and EINTR-safe read/write wrappers.
+ *
+ * Key invariants:
+ *  - Listener helpers either return a bound, listening fd or throw
+ *    FatalError with the failing syscall and errno text; they never
+ *    return a half-configured fd.
+ *  - listenUnix() unlinks a pre-existing socket file at the path
+ *    before binding (standard daemon restart behaviour; see
+ *    docs/OPERATIONS.md for the liveness caveat) and applies
+ *    `mode` with chmod so the permission race window is the bind
+ *    itself, not a post-hoc fixup by callers.
+ *  - readSome()/writeSome() retry EINTR internally and report
+ *    would-block as 0 bytes with `wouldBlock = true`, so callers
+ *    distinguish "try later" from "peer closed" (readSome() == 0
+ *    with !wouldBlock).
+ */
+
+#ifndef FERMIHEDRAL_NET_SOCKET_H
+#define FERMIHEDRAL_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fermihedral::net {
+
+/** Max unix-socket path length the sockaddr can carry. */
+std::size_t maxUnixPathLength();
+
+/**
+ * Create a TCP listener on host:port (port 0 = ephemeral).
+ * Returns the fd; *bound_port receives the actual port.
+ */
+int listenTcp(const std::string &host, std::uint16_t port,
+              std::uint16_t *bound_port);
+
+/**
+ * Create a unix-domain listener at `path` with file mode `mode`
+ * (e.g. 0600). A stale socket file at the path is unlinked first.
+ */
+int listenUnix(const std::string &path, unsigned mode);
+
+/** Blocking TCP connect (for the client and tests). */
+int connectTcp(const std::string &host, std::uint16_t port);
+
+/** Blocking unix-domain connect. */
+int connectUnix(const std::string &path);
+
+/**
+ * Accept one pending connection on a non-blocking listener.
+ * Returns the fd, or -1 when none is pending (EAGAIN) or the
+ * accept failed transiently.
+ */
+int acceptConnection(int listener_fd);
+
+/** Best-effort TCP_NODELAY (no-op on non-TCP fds). */
+void setTcpNoDelay(int fd);
+
+/** Switch an fd to non-blocking mode (fatal on failure). */
+void setNonBlocking(int fd);
+
+/** close() ignoring EINTR; safe on -1. */
+void closeFd(int fd);
+
+/**
+ * Read up to `capacity` bytes. Returns bytes read; 0 with
+ * *would_block set when the socket is drained (non-blocking), 0
+ * with it clear on orderly peer close; -1 on hard errors.
+ */
+long readSome(int fd, char *buffer, std::size_t capacity,
+              bool *would_block);
+
+/**
+ * Write up to `size` bytes. Returns bytes written (possibly short);
+ * 0 with *would_block set when the send buffer is full; -1 on hard
+ * errors (EPIPE included — callers drop the connection).
+ */
+long writeSome(int fd, const char *buffer, std::size_t size,
+               bool *would_block);
+
+} // namespace fermihedral::net
+
+#endif // FERMIHEDRAL_NET_SOCKET_H

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links or anchors in the repo's markdown.
+
+Usage: check_docs_links.py [FILE ...]   (default: README.md docs/*.md)
+
+Checks every inline markdown link `[text](target)` outside fenced
+code blocks:
+  - external targets (http/https/mailto) are skipped — CI must not
+    depend on the network;
+  - relative targets must resolve to an existing file (relative to
+    the linking file's directory);
+  - `#anchor` fragments — same-file or `other.md#anchor` — must
+    match a heading in the target file, using GitHub's slugging
+    (lowercase, punctuation dropped, spaces to hyphens, `-N`
+    suffixes for duplicates).
+
+This is what keeps docs/PROTOCOL.md, docs/OPERATIONS.md,
+docs/ARCHITECTURE.md and the README pointing at each other's real
+sections as they evolve.
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_fences(text):
+    """Blank out fenced code blocks, preserving line count."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return out
+
+
+def slugify(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, hyphens."""
+    # Inline code/emphasis markers disappear from the slug.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(lines):
+    seen = {}
+    anchors = set()
+    for line in lines:
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def main(argv):
+    paths = argv[1:] or ["README.md"] + sorted(glob.glob("docs/*.md"))
+    files = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            files[path] = strip_fences(handle.read())
+
+    def anchors_for(path):
+        if path not in files:
+            with open(path, encoding="utf-8") as handle:
+                files[path] = strip_fences(handle.read())
+        return anchors_of(files[path])
+
+    errors = []
+    checked = 0
+    for path, lines in sorted(files.items()):
+        base = os.path.dirname(path)
+        for lineno, line in enumerate(lines, 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                checked += 1
+                where = f"{path}:{lineno}"
+                dest, _, fragment = target.partition("#")
+                dest_path = (os.path.normpath(os.path.join(base, dest))
+                             if dest else path)
+                if not os.path.exists(dest_path):
+                    errors.append(
+                        f"{where}: dead link {target!r} "
+                        f"({dest_path} does not exist)")
+                    continue
+                if fragment and dest_path.endswith(".md"):
+                    if fragment not in anchors_for(dest_path):
+                        errors.append(
+                            f"{where}: dead anchor {target!r} "
+                            f"(no heading slugs to "
+                            f"#{fragment} in {dest_path})")
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        raise SystemExit(f"{len(errors)} dead link(s)")
+    print(f"docs links OK ({checked} relative links "
+          f"across {len(paths)} files)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Sanity-check telemetry artifacts produced by --metrics-json / --trace.
 
-Usage: check_telemetry.py [--require NAME[,NAME...]] FILE [FILE ...]
+Usage: check_telemetry.py [--require NAME[=VALUE][,NAME[=VALUE]...]]
+       FILE [FILE ...]
 
 Each file is detected by shape: a Chrome trace document (top-level
 "traceEvents") or a metrics document (top-level "counters" /
@@ -13,7 +14,10 @@ percentiles ordered min <= p50 <= p90 <= p99 <= max.
 --require lists counter names (comma-separated, repeatable) that
 must be present in every metrics document checked — the CI
 fault-injection job uses it to prove the shed/cancel/coalesce
-counters actually moved through the registry.
+counters actually moved through the registry. A NAME=VALUE item
+additionally pins the counter to an exact value — the daemon-smoke
+job uses `service.cache.misses=0` to prove a warm-started daemon
+computed nothing.
 """
 
 import json
@@ -54,9 +58,17 @@ def check_metrics(path, doc, required):
     for name, value in doc["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(path, f"counter {name!r}: bad value {value!r}")
-    missing = sorted(set(required) - doc["counters"].keys())
+    missing = sorted({name for name, _ in required}
+                     - doc["counters"].keys())
     if missing:
         fail(path, f"required counters missing: {missing}")
+    for name, expected in required:
+        if expected is None:
+            continue
+        actual = doc["counters"][name]
+        if actual != expected:
+            fail(path, f"counter {name!r}: expected {expected}, "
+                       f"got {actual}")
     for name, hist in doc["histograms"].items():
         missing = HISTOGRAM_KEYS - hist.keys()
         if missing:
@@ -74,6 +86,18 @@ def check_metrics(path, doc, required):
           f"{len(doc['histograms'])} histograms)")
 
 
+def parse_requirement(item):
+    """'name' -> (name, None); 'name=3' -> (name, 3)."""
+    if "=" not in item:
+        return (item, None)
+    name, _, value = item.partition("=")
+    try:
+        return (name, int(value))
+    except ValueError:
+        raise SystemExit(
+            f"--require {item!r}: value must be an integer")
+
+
 def main(argv):
     required = []
     paths = []
@@ -84,10 +108,12 @@ def main(argv):
             if value is None:
                 raise SystemExit("--require needs a counter list")
             required.extend(
-                name for name in value.split(",") if name)
+                parse_requirement(name)
+                for name in value.split(",") if name)
         elif arg.startswith("--require="):
             required.extend(
-                name for name in
+                parse_requirement(name)
+                for name in
                 arg.split("=", 1)[1].split(",") if name)
         else:
             paths.append(arg)
