@@ -21,6 +21,7 @@
 #include "core/descent_solver.h"
 #include "encodings/linear.h"
 #include "fermion/models.h"
+#include "hw/topology_flags.h"
 
 namespace fermihedral::bench {
 
@@ -41,6 +42,7 @@ struct EngineFlags
     const bool *carry = nullptr;
     const bool *inprocess = nullptr;
     const double *deadlineSeconds = nullptr;
+    hw::TopologyFlags topology;
 
     static EngineFlags
     add(FlagSet &flags)
@@ -71,6 +73,7 @@ struct EngineFlags
             "wall-clock deadline per compilation (<= 0 = none); "
             "past it the pipeline degrades to its best-so-far "
             "encoding with status deadline-exceeded");
+        engine.topology = hw::TopologyFlags::add(flags);
         storage() = engine;
         return engine;
     }
@@ -102,6 +105,11 @@ struct EngineFlags
         // Deadlines are a facade/service-level contract; the raw
         // DescentOptions overload deliberately has no equivalent.
         request.deadlineSeconds = *deadlineSeconds;
+        // A --topology/--topology-file flag makes every request in
+        // the binary hardware-aware: an Auto objective resolves to
+        // routed-cost and costs become routed estimates.
+        if (auto resolved = topology.resolve())
+            request.topology = *std::move(resolved);
     }
 
     /** The overlay armed by add(), if any (one per binary). */

@@ -13,6 +13,7 @@ objectiveName(Objective objective)
       case Objective::Auto: return "auto";
       case Objective::TotalWeight: return "total-weight";
       case Objective::HamiltonianWeight: return "hamiltonian-weight";
+      case Objective::RoutedCost: return "routed-cost";
     }
     panic("unhandled Objective value ",
           static_cast<int>(objective));
@@ -36,12 +37,18 @@ resultStatusName(ResultStatus status)
 Objective
 CompilationRequest::resolvedObjective() const
 {
-    if (objective == Objective::Auto)
+    if (objective == Objective::Auto) {
+        if (topology)
+            return Objective::RoutedCost;
         return hamiltonian ? Objective::HamiltonianWeight
                            : Objective::TotalWeight;
+    }
     if (objective == Objective::HamiltonianWeight && !hamiltonian)
         fatal("objective 'hamiltonian-weight' needs a Hamiltonian "
               "in the CompilationRequest");
+    if (objective == Objective::RoutedCost && !topology)
+        fatal("objective 'routed-cost' needs a topology in the "
+              "CompilationRequest");
     return objective;
 }
 
@@ -77,6 +84,15 @@ Compiler::compile(const CompilationRequest &request) const
 {
     if (request.resolvedModes() == 0)
         fatal("CompilationRequest needs modes > 0 or a Hamiltonian");
+    if (request.topology) {
+        if (!request.topology->connected())
+            fatal("CompilationRequest topology must be connected");
+        if (request.topology->numQubits() <
+            request.resolvedModes())
+            fatal("topology has ", request.topology->numQubits(),
+                  " qubits but the problem needs ",
+                  request.resolvedModes());
+    }
     const auto strategy = makeStrategy(request.strategy);
     Timer timer;
     const SearchOutcome outcome = strategy->search(request);

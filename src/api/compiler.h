@@ -39,6 +39,7 @@
 #include "core/descent_solver.h"
 #include "encodings/encoding.h"
 #include "fermion/operators.h"
+#include "hw/topology.h"
 #include "pauli/commuting_groups.h"
 #include "pauli/pauli_sum.h"
 
@@ -48,14 +49,20 @@ namespace fermihedral::api {
 enum class Objective
 {
     /**
-     * Pick automatically: HamiltonianWeight when the request
-     * carries a Hamiltonian, TotalWeight otherwise.
+     * Pick automatically: RoutedCost when the request carries a
+     * hardware topology, else HamiltonianWeight when it carries a
+     * Hamiltonian, TotalWeight otherwise.
      */
     Auto,
     /** Hamiltonian-independent total Pauli weight (Sec. 3.6). */
     TotalWeight,
     /** Eq. 14 Hamiltonian-dependent Pauli weight (Sec. 3.7). */
     HamiltonianWeight,
+    /**
+     * Connectivity-aware estimated two-qubit gate cost on the
+     * request's topology (hw/routed_cost.h); requires `topology`.
+     */
+    RoutedCost,
 };
 
 /** Printable name of a resolved objective. */
@@ -92,6 +99,15 @@ struct CompilationRequest
 
     /** The problem Hamiltonian (enables mapping + measurement). */
     std::optional<fermion::FermionHamiltonian> hamiltonian;
+
+    /**
+     * Hardware connectivity the encoding should target. Setting it
+     * resolves an Auto objective to RoutedCost (and is required by
+     * RoutedCost and the sat-routed / pick-routed strategies).
+     * Problem identity, not an execution knob: it IS part of the
+     * cache identity whenever the resolved objective consumes it.
+     */
+    std::optional<hw::Topology> topology;
 
     /** Registered strategy name (see api/strategy_registry.h). */
     std::string strategy = "sat";

@@ -247,6 +247,33 @@ tryBuildRequest(const RequestSpec &spec, std::string *error)
     CompilationRequest request;
     if (!applyModelSpec(spec.problem, request, error))
         return std::nullopt;
+    if (!spec.topology.empty()) {
+        std::string topology_error;
+        auto topology = hw::Topology::tryParseSpec(
+            spec.topology, &topology_error);
+        if (!topology) {
+            failSpec(error, std::move(topology_error));
+            return std::nullopt;
+        }
+        if (!topology->connected()) {
+            failSpec(error, "topology '" + spec.topology +
+                                "' is not connected");
+            return std::nullopt;
+        }
+        if (topology->numQubits() < request.resolvedModes()) {
+            failSpec(error,
+                     "topology '" + spec.topology + "' has " +
+                         std::to_string(topology->numQubits()) +
+                         " qubits but the problem needs " +
+                         std::to_string(request.resolvedModes()));
+            return std::nullopt;
+        }
+        request.topology = *std::move(topology);
+    } else if (spec.objective == Objective::RoutedCost) {
+        failSpec(error, "objective 'routed-cost' needs a topology "
+                        "in the request spec");
+        return std::nullopt;
+    }
     request.strategy = spec.strategy;
     request.objective = spec.objective;
     request.algebraicIndependence = spec.algebraicIndependence;

@@ -55,6 +55,14 @@ struct RequestSpec
     /** Objective; Auto resolves from the problem spec. */
     Objective objective = Objective::Auto;
 
+    /**
+     * Hardware topology spec ("grid:2x4", "heavy-hex:1", ...; see
+     * hw/topology.h), empty = none. Required when the objective is
+     * routed-cost; with Auto it switches the resolved objective to
+     * routed-cost.
+     */
+    std::string topology;
+
     /** Section 3.1 constraint toggles. */
     bool algebraicIndependence = true;
     bool vacuumPreservation = true;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "hw/topology.h"
 
 namespace fermihedral::api {
 
@@ -219,6 +220,8 @@ objectiveFromName(std::string_view name)
         return Objective::TotalWeight;
     if (name == objectiveName(Objective::HamiltonianWeight))
         return Objective::HamiltonianWeight;
+    if (name == objectiveName(Objective::RoutedCost))
+        return Objective::RoutedCost;
     return std::nullopt;
 }
 
@@ -436,6 +439,11 @@ serializeRequestSpec(const RequestSpec &spec)
         << "total-timeout " << hexDouble(spec.totalTimeoutSeconds)
         << '\n'
         << "deadline " << hexDouble(spec.deadlineSeconds) << '\n';
+    // Optional trailing line: only emitted when a topology is set,
+    // so topology-free requests stay byte-identical to the format
+    // the v1 wire fixtures pin.
+    if (!spec.topology.empty())
+        out << "topology " << spec.topology << '\n';
     return out.str();
 }
 
@@ -463,8 +471,7 @@ tryParseRequestSpec(std::string_view text)
         parseDouble(reader.takeField("total-timeout"));
     const auto deadline =
         parseDouble(reader.takeField("deadline"));
-    if (reader.failed || !reader.atEnd() || !step || !total ||
-        !deadline)
+    if (reader.failed || !step || !total || !deadline)
         return std::nullopt;
     // Budgets are durations: NaN or negatives would silently turn
     // into "no limit" downstream, so reject them here.
@@ -473,6 +480,22 @@ tryParseRequestSpec(std::string_view text)
     spec.stepTimeoutSeconds = *step;
     spec.totalTimeoutSeconds = *total;
     spec.deadlineSeconds = *deadline;
+    if (!reader.atEnd()) {
+        spec.topology =
+            std::string(reader.takeField("topology"));
+        // The spec must name a real topology: rejecting here turns
+        // a peer's bad bytes into a typed parse failure instead of
+        // a fatal downstream.
+        if (reader.failed || !reader.atEnd() ||
+            !hw::Topology::tryParseSpec(spec.topology))
+            return std::nullopt;
+    }
+    // A routed-cost objective without a topology could never
+    // compile; reject it at the wire boundary so the daemon
+    // answers with a typed error result instead of crashing.
+    if (spec.objective == Objective::RoutedCost &&
+        spec.topology.empty())
+        return std::nullopt;
     return spec;
 }
 

@@ -153,7 +153,9 @@ CompilerService::canonicalRequestKey(
         << "|modes=" << request.resolvedModes()
         << "|alg=" << (request.algebraicIndependence ? 1 : 0)
         << "|vac=" << (request.vacuumPreservation ? 1 : 0);
-    if (objective == Objective::HamiltonianWeight) {
+    if (objective == Objective::HamiltonianWeight ||
+        (objective == Objective::RoutedCost &&
+         request.hamiltonian)) {
         key << "|structure=" << std::hex;
         bool first = true;
         for (const auto &subset :
@@ -161,6 +163,34 @@ CompilerService::canonicalRequestKey(
             key << (first ? "" : ",") << subset.mask << 'x'
                 << subset.multiplicity;
             first = false;
+        }
+        key << std::dec;
+    }
+    if (objective == Objective::RoutedCost) {
+        // The graph itself, not the spec that built it: two specs
+        // naming the same connectivity must share an entry.
+        key << "|topology=" << request.topology->edgesSpec();
+        if (request.hamiltonian) {
+            // The routed strategies route the mapped Trotter
+            // circuit, which depends on the raw term coefficients
+            // — not just the Eq. 14 structure — so the identity
+            // must hash them too.
+            std::ostringstream terms;
+            terms << std::hexfloat;
+            for (const auto &term :
+                 request.hamiltonian->fermionTerms()) {
+                terms << 'f' << term.coefficient;
+                for (const auto &op : term.ops)
+                    terms << (op.creation ? '+' : '-') << op.mode;
+            }
+            for (const auto &term :
+                 request.hamiltonian->majoranaTerms()) {
+                terms << 'm' << term.coefficient;
+                for (const auto index : term.indices)
+                    terms << ':' << index;
+            }
+            key << "|hterms=" << std::hex
+                << fnv1a64(terms.str()) << std::dec;
         }
     }
     return key.str();

@@ -16,7 +16,11 @@
  * request the built-in strategies' searches consume: strategy name,
  * resolved objective, mode count, constraint toggles, and — for
  * Hamiltonian-dependent objectives — the Eq. 14 cost structure
- * (Majorana subset masks with multiplicities). Execution knobs
+ * (Majorana subset masks with multiplicities). A routed-cost
+ * objective additionally renders the topology's canonical edge
+ * list and, with a Hamiltonian, a hash of the raw terms (the
+ * routed strategies route the mapped Trotter circuit, which the
+ * structure masks alone do not determine). Execution knobs
  * (budgets, deadline, cancellation, threads, determinism,
  * preprocessing) are deliberately NOT part of the identity: once a
  * spec is solved, later requests reuse the encoding whatever budget

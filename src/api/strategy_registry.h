@@ -17,6 +17,12 @@
  *                   dropped (Sec. 4.1)
  *   sat+annealing   independent solve + Algorithm 2 pairing only
  *                   (the scalable path of Table 5)
+ *   sat-routed      weight-optimal SAT search + topology-aware
+ *                   qubit re-placement; needs request.topology
+ *                   and the routed-cost objective (hw/)
+ *   pick-routed     routes every closed-form baseline plus the
+ *                   weight-optimal SAT encoding and returns the
+ *                   best-routing one; same requirements
  *
  * New strategies are a registration, not a refactor: implement
  * EncodingStrategy, call registerStrategy() once, and every facade

@@ -1,0 +1,187 @@
+#include "hw/routed_cost.h"
+
+#include <bit>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fermihedral::hw {
+
+namespace {
+
+/** Support qubits (non-identity positions) of a string. */
+std::vector<std::uint32_t>
+support(const pauli::PauliString &string)
+{
+    std::vector<std::uint32_t> qubits;
+    std::uint64_t mask = string.xMask() | string.zMask();
+    while (mask) {
+        qubits.push_back(static_cast<std::uint32_t>(
+            std::countr_zero(mask)));
+        mask &= mask - 1;
+    }
+    return qubits;
+}
+
+/** Cost of one ladder link spanning `hops` topology edges. */
+std::size_t
+linkCost(std::uint32_t hops)
+{
+    return 2 + 3 * static_cast<std::size_t>(hops - 1);
+}
+
+} // namespace
+
+std::size_t
+routedStringCost(const pauli::PauliString &string,
+                 const Topology &topology)
+{
+    const auto qubits = support(string);
+    if (qubits.size() <= 1)
+        return 0;
+    require(string.numQubits() <= topology.numQubits(),
+            "routedStringCost: string on ", string.numQubits(),
+            " qubits exceeds the ", topology.numQubits(),
+            "-qubit topology");
+
+    // Greedy nearest-neighbour chain from the lowest support
+    // qubit; ties resolve to the lowest index, so the estimate is
+    // deterministic.
+    std::vector<bool> visited(qubits.size(), false);
+    visited[0] = true;
+    std::uint32_t at = qubits[0];
+    std::size_t cost = 0;
+    for (std::size_t step = 1; step < qubits.size(); ++step) {
+        std::size_t best = SIZE_MAX;
+        std::uint32_t best_d = Topology::kUnreachable;
+        for (std::size_t i = 0; i < qubits.size(); ++i) {
+            if (visited[i])
+                continue;
+            const std::uint32_t d =
+                topology.distance(at, qubits[i]);
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        require(best_d != Topology::kUnreachable,
+                "routedStringCost on a disconnected topology");
+        visited[best] = true;
+        at = qubits[best];
+        cost += linkCost(best_d);
+    }
+    return cost;
+}
+
+std::size_t
+routedCostEstimate(const enc::FermionEncoding &encoding,
+                   const Topology &topology)
+{
+    std::size_t total = 0;
+    for (const auto &majorana : encoding.majoranas)
+        total += routedStringCost(majorana, topology);
+    return total;
+}
+
+std::size_t
+routedCostEstimate(const fermion::FermionHamiltonian &hamiltonian,
+                   const enc::FermionEncoding &encoding,
+                   const Topology &topology)
+{
+    std::size_t total = 0;
+    for (const auto &subset :
+         fermion::majoranaStructure(hamiltonian))
+        total += subset.multiplicity *
+                 routedStringCost(
+                     enc::majoranaProduct(encoding, subset.mask),
+                     topology);
+    return total;
+}
+
+pauli::PauliString
+permuteQubits(const pauli::PauliString &string,
+              const std::vector<std::uint32_t> &permutation)
+{
+    require(permutation.size() >= string.numQubits(),
+            "permuteQubits: permutation narrower than the string");
+    std::uint64_t x = 0, z = 0;
+    for (std::size_t q = 0; q < string.numQubits(); ++q) {
+        if ((string.xMask() >> q) & 1)
+            x |= std::uint64_t(1) << permutation[q];
+        if ((string.zMask() >> q) & 1)
+            z |= std::uint64_t(1) << permutation[q];
+    }
+    return pauli::PauliString::fromMasks(string.numQubits(), x, z,
+                                         string.phaseExp());
+}
+
+enc::FermionEncoding
+optimizePlacement(const enc::FermionEncoding &encoding,
+                  const Topology &topology,
+                  const fermion::FermionHamiltonian *hamiltonian)
+{
+    const std::size_t qubits = encoding.numQubits();
+    require(qubits <= topology.numQubits(),
+            "optimizePlacement: encoding on ", qubits,
+            " qubits exceeds the ", topology.numQubits(),
+            "-qubit topology");
+
+    // Score strings with multiplicities. Relabelling the encoding's
+    // qubits relabels every Majorana product identically, so these
+    // stay valid as the permutation evolves.
+    std::vector<std::pair<pauli::PauliString, std::size_t>> scored;
+    if (hamiltonian) {
+        for (const auto &subset :
+             fermion::majoranaStructure(*hamiltonian))
+            scored.emplace_back(
+                enc::majoranaProduct(encoding, subset.mask),
+                subset.multiplicity);
+    } else {
+        for (const auto &majorana : encoding.majoranas)
+            scored.emplace_back(majorana, 1);
+    }
+
+    std::vector<std::uint32_t> perm(qubits);
+    std::iota(perm.begin(), perm.end(), 0);
+    const auto cost = [&](const std::vector<std::uint32_t> &p) {
+        std::size_t total = 0;
+        for (const auto &[string, multiplicity] : scored)
+            total += multiplicity *
+                     routedStringCost(permuteQubits(string, p),
+                                      topology);
+        return total;
+    };
+
+    // Best-improvement transposition descent: O(q^2) candidate
+    // swaps per pass, strictly decreasing, so it terminates.
+    std::size_t current = cost(perm);
+    while (true) {
+        std::size_t best_cost = current;
+        std::size_t best_i = 0, best_j = 0;
+        for (std::size_t i = 0; i < qubits; ++i) {
+            for (std::size_t j = i + 1; j < qubits; ++j) {
+                std::swap(perm[i], perm[j]);
+                const std::size_t candidate = cost(perm);
+                std::swap(perm[i], perm[j]);
+                if (candidate < best_cost) {
+                    best_cost = candidate;
+                    best_i = i;
+                    best_j = j;
+                }
+            }
+        }
+        if (best_cost == current)
+            break;
+        std::swap(perm[best_i], perm[best_j]);
+        current = best_cost;
+    }
+
+    enc::FermionEncoding placed;
+    placed.modes = encoding.modes;
+    placed.majoranas.reserve(encoding.majoranas.size());
+    for (const auto &majorana : encoding.majoranas)
+        placed.majoranas.push_back(permuteQubits(majorana, perm));
+    return placed;
+}
+
+} // namespace fermihedral::hw

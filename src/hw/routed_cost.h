@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fast routed-cost estimation: the connectivity-aware objective the
+ * api's routed-cost strategies minimise. Rather than routing a full
+ * circuit per candidate (hw/router.h is for final measurement, not
+ * inner loops), the estimator charges each Pauli string the
+ * two-qubit cost of a CNOT ladder chained greedily through its
+ * support under the topology's distance metric: adjacent links cost
+ * 2 CNOTs (the Fig. 3 up/down ladder), and every extra hop costs a
+ * SWAP's 3 CNOTs.
+ *
+ * Key invariants:
+ *  - routedStringCost() depends only on the string's support set
+ *    and the distance matrix — never on phases or rotation angles —
+ *    and is 0 for strings of weight <= 1.
+ *  - On an all-to-all topology the estimate is exactly
+ *    2 * (weight - 1) per string, so the routed objective collapses
+ *    to a monotone function of Pauli weight and the strategies
+ *    reproduce the unconstrained ranking.
+ *  - The Hamiltonian overload is a pure function of the Eq. 14
+ *    Majorana subset structure (masks + multiplicities), mirroring
+ *    enc::hamiltonianPauliWeight — which is what lets the service
+ *    cache key keep hashing structure only.
+ *  - optimizePlacement() permutes qubit labels only: the result is
+ *    always a valid encoding (anticommutativity, independence and
+ *    vacuum preservation are permutation-invariant) and its
+ *    estimate is <= the input's.
+ */
+
+#ifndef FERMIHEDRAL_HW_ROUTED_COST_H
+#define FERMIHEDRAL_HW_ROUTED_COST_H
+
+#include "encodings/encoding.h"
+#include "fermion/operators.h"
+#include "hw/topology.h"
+#include "pauli/pauli_string.h"
+
+namespace fermihedral::hw {
+
+/**
+ * Estimated two-qubit gate cost of one exp(i theta P) block for
+ * `string` on `topology`: a greedy nearest-neighbour chain over the
+ * support, 2 CNOTs per link plus 3 per extra hop.
+ */
+std::size_t routedStringCost(const pauli::PauliString &string,
+                             const Topology &topology);
+
+/** Sum of routedStringCost over the encoding's Majorana strings. */
+std::size_t routedCostEstimate(const enc::FermionEncoding &encoding,
+                               const Topology &topology);
+
+/**
+ * Hamiltonian-dependent estimate: the Eq. 14 sum with
+ * routedStringCost in place of Pauli weight (each Majorana subset
+ * product weighted by its multiplicity).
+ */
+std::size_t routedCostEstimate(
+    const fermion::FermionHamiltonian &hamiltonian,
+    const enc::FermionEncoding &encoding, const Topology &topology);
+
+/** `string` with qubit q relabelled to permutation[q]. */
+pauli::PauliString permuteQubits(
+    const pauli::PauliString &string,
+    const std::vector<std::uint32_t> &permutation);
+
+/**
+ * Greedy qubit-relabelling descent: repeatedly applies the label
+ * transposition that most reduces the routed-cost estimate (under
+ * the Hamiltonian structure when one is given) until none helps.
+ * The topology must be at least as wide as the encoding (fatal
+ * otherwise). Deterministic; never returns a worse estimate.
+ */
+enc::FermionEncoding optimizePlacement(
+    const enc::FermionEncoding &encoding, const Topology &topology,
+    const fermion::FermionHamiltonian *hamiltonian = nullptr);
+
+} // namespace fermihedral::hw
+
+#endif // FERMIHEDRAL_HW_ROUTED_COST_H

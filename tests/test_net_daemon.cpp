@@ -271,6 +271,47 @@ TEST_F(NetDaemonTest, MalformedRequestsDegradeToErrorResults)
     EXPECT_EQ(frame->payload, "alive");
 }
 
+TEST_F(NetDaemonTest, TopologyRequestsRoundTripAndRejectCleanly)
+{
+    ServerOptions options;
+    options.unixPath = socketPath();
+    RunningDaemon daemon(options);
+    EncodingClient client = EncodingClient::overUnix(socketPath());
+
+    // routed-cost without a topology can never compile: the wire
+    // parser rejects the spec and the daemon answers a typed Error
+    // RESULT while the connection stays healthy.
+    api::RequestSpec bad;
+    bad.problem = "modes:3";
+    bad.strategy = "sat";
+    bad.objective = api::Objective::RoutedCost;
+    CompileReply reply = client.compile(1, bad);
+    EXPECT_EQ(reply.status, api::ResultStatus::Error);
+    EXPECT_TRUE(reply.resultText.empty());
+
+    // With the topology line present the same request compiles, and
+    // the daemon result is bit-identical to in-process compilation.
+    api::RequestSpec good = bad;
+    good.topology = "linear:6";
+    good.strategy = "pick-routed";
+    reply = client.compile(2, good);
+    ASSERT_EQ(reply.status, api::ResultStatus::Ok)
+        << reply.message;
+    std::string error;
+    const auto request = api::tryBuildRequest(good, &error);
+    ASSERT_TRUE(request.has_value()) << error;
+    api::CompilerService local;
+    EXPECT_EQ(reply.resultText,
+              api::serializeResult(local.compile(*request)));
+
+    // The rejection did not poison the connection.
+    client.sendPing(3, "alive");
+    const auto frame = client.readMessage();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MessageType::Pong);
+    EXPECT_EQ(frame->payload, "alive");
+}
+
 TEST_F(NetDaemonTest, ProtocolViolationClosesWithErrorFrame)
 {
     ServerOptions options;

@@ -220,6 +220,58 @@ TEST(NetFrame, CompileFixture)
     EXPECT_DOUBLE_EQ(parsed->deadlineSeconds, 0.0);
 }
 
+TEST(NetFrame, CompileSpecTopologyLineRoundTrips)
+{
+    // The optional tenth line: emitted only when the spec carries a
+    // topology, so the fixture above stays byte-identical.
+    api::RequestSpec spec;
+    spec.problem = "h2";
+    spec.strategy = "pick-routed";
+    spec.objective = api::Objective::RoutedCost;
+    spec.topology = "grid:2x4";
+    const std::string payload = api::serializeRequestSpec(spec);
+    EXPECT_NE(payload.find("\ntopology grid:2x4\n"),
+              std::string::npos);
+
+    const auto parsed = api::tryParseRequestSpec(payload);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->topology, "grid:2x4");
+    EXPECT_EQ(parsed->objective, api::Objective::RoutedCost);
+    EXPECT_EQ(parsed->strategy, "pick-routed");
+    EXPECT_EQ(api::serializeRequestSpec(*parsed), payload);
+}
+
+TEST(NetFrame, CompileSpecRejectsBadTopologyCombinations)
+{
+    api::RequestSpec spec;
+    spec.problem = "h2";
+    spec.topology = "grid:2x4";
+    const std::string good = api::serializeRequestSpec(spec);
+    ASSERT_TRUE(api::tryParseRequestSpec(good).has_value());
+
+    // routed-cost with no topology line could never compile; the
+    // wire parser rejects it instead of letting it fatal later.
+    api::RequestSpec routed;
+    routed.problem = "h2";
+    routed.objective = api::Objective::RoutedCost;
+    std::string no_topology = api::serializeRequestSpec(routed);
+    EXPECT_EQ(no_topology.find("topology"), std::string::npos);
+    EXPECT_FALSE(
+        api::tryParseRequestSpec(no_topology).has_value());
+
+    // A topology line that names no real topology is a parse
+    // failure, not a deferred fatal.
+    std::string bad = good;
+    const auto pos = bad.find("grid:2x4");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 8, "gird:2x4");
+    EXPECT_FALSE(api::tryParseRequestSpec(bad).has_value());
+
+    // Trailing bytes after the topology line are corruption.
+    EXPECT_FALSE(
+        api::tryParseRequestSpec(good + "junk 1\n").has_value());
+}
+
 // ---------------------------------------------------------------
 // Payload codecs: round trips and rejection.
 // ---------------------------------------------------------------
